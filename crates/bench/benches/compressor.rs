@@ -1,0 +1,38 @@
+//! Criterion bench: szlite compression/decompression throughput across
+//! error bounds (the micro-measurement behind Fig. 5/6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szlite::{compress_f32, decompress_f32, Config, Dims};
+use workloads::{nyx, NyxParams};
+
+fn bench_compress(c: &mut Criterion) {
+    let side = 32;
+    let f = nyx::single_field(NyxParams::with_side(side), "baryon_density");
+    let dims = Dims::d3(side, side, side);
+    let raw = (f.data.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("compress");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(raw));
+    for rel in [1e-1, 1e-3, 1e-6] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("rel{rel:.0e}")), &rel, |b, &rel| {
+            let cfg = Config::rel(rel);
+            b.iter(|| compress_f32(&f.data, &dims, &cfg).unwrap());
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decompress");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(raw));
+    for rel in [1e-1, 1e-3, 1e-6] {
+        let stream = compress_f32(&f.data, &dims, &Config::rel(rel)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("rel{rel:.0e}")), &stream, |b, s| {
+            b.iter(|| decompress_f32(s).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: Algorithm 1 optimization cost vs field count —
+//! validating the paper's claim that the O(n²) optimizer is negligible
+//! (0.17 % of compression time even at n = 100).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predwrite::optimize_order;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimize_order");
+    for n in [6usize, 16, 50, 100] {
+        let pc: Vec<f64> = (0..n).map(|i| 0.1 + (i % 7) as f64 * 0.05).collect();
+        let pw: Vec<f64> = (0..n).map(|i| 0.05 + (i % 5) as f64 * 0.08).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| optimize_order(&pc, &pw))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

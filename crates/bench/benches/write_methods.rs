@@ -1,0 +1,33 @@
+//! Criterion bench: simulated end-to-end time of the four write
+//! methods at 512 ranks (the Fig. 16 scenario as a regression bench:
+//! the *relative* ordering of methods must hold build over build).
+
+use bench::setup::nyx_profiles;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfsim::BandwidthModel;
+use predwrite::{simulate_method, Method, SimParams};
+use ratiomodel::Models;
+
+fn bench_methods(c: &mut Criterion) {
+    let bw = BandwidthModel::summit();
+    let models = Models::with_cthr(bw.stable_cthr(512));
+    let profiles = nyx_profiles(32, 8, 512, 2.0, &models);
+    let params = SimParams::new(bw);
+
+    let mut g = c.benchmark_group("simulate-method-512ranks");
+    g.sample_size(10);
+    for m in Method::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(m.label()), &m, |b, &m| {
+            b.iter(|| simulate_method(m, &profiles, &params))
+        });
+    }
+    g.finish();
+
+    // Assert the paper's method ordering as a bench-time sanity check.
+    let t = |m: Method| simulate_method(m, &profiles, &params).total_time;
+    assert!(t(Method::NoCompression) > t(Method::OverlapReorder));
+    assert!(t(Method::FilterCollective) > t(Method::OverlapReorder));
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! # bench — experiment harness shared by the `repro` binary and the
+//! Criterion benches.
+//!
+//! Each paper table/figure has a corresponding experiment function in
+//! [`experiments`]; shared workload/profile construction lives in
+//! [`setup`]. Everything is deterministic (seeded generators +
+//! discrete-event simulation), so repeated runs print identical
+//! numbers apart from the wall-clock throughput measurements.
+
+pub mod experiments;
+pub mod setup;
+pub mod table;
+
+pub use setup::{eb_for_bitrate, nyx_profiles, vpic_profiles, ExperimentScale};

@@ -1,0 +1,108 @@
+//! Generation-counted reusable barrier.
+//!
+//! `std::sync::Barrier` works, but a generation-counted condvar barrier
+//! (the construction from *Rust Atomics and Locks*, ch. 9) lets us
+//! expose wait generations for debugging and keeps all synchronization
+//! primitives in one auditable place.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State {
+    /// Threads still expected in the current generation.
+    remaining: usize,
+    /// Completed generations.
+    generation: u64,
+}
+
+/// A reusable barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct Barrier {
+    n: usize,
+    state: Mutex<State>,
+    cvar: Condvar,
+}
+
+impl Barrier {
+    /// Barrier for `n` participants (n ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Barrier { n, state: Mutex::new(State { remaining: n, generation: 0 }), cvar: Condvar::new() }
+    }
+
+    /// Block until all `n` participants have called `wait`.
+    /// Returns the generation index that was completed.
+    pub fn wait(&self) -> u64 {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            st.remaining = self.n;
+            st.generation += 1;
+            self.cvar.notify_all();
+            gen
+        } else {
+            while st.generation == gen {
+                self.cvar.wait(&mut st);
+            }
+            gen
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = Barrier::new(1);
+        assert_eq!(b.wait(), 0);
+        assert_eq!(b.wait(), 1);
+    }
+
+    #[test]
+    fn synchronizes_phases() {
+        let n = 8;
+        let b = Arc::new(Barrier::new(n));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let b = Arc::clone(&b);
+                let c = Arc::clone(&counter);
+                s.spawn(move || {
+                    for phase in 0..50usize {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After the barrier every increment of this
+                        // phase must be visible.
+                        assert!(c.load(Ordering::SeqCst) >= (phase + 1) * n);
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50 * n);
+    }
+
+    #[test]
+    fn generations_advance() {
+        let b = Arc::new(Barrier::new(2));
+        std::thread::scope(|s| {
+            let b2 = Arc::clone(&b);
+            s.spawn(move || {
+                assert_eq!(b2.wait(), 0);
+                assert_eq!(b2.wait(), 1);
+            });
+            assert_eq!(b.wait(), 0);
+            assert_eq!(b.wait(), 1);
+        });
+    }
+}

@@ -1,0 +1,340 @@
+//! Threads-as-ranks communicator with MPI-style collectives.
+//!
+//! A [`World`] spawns `n` OS threads, each holding a [`Rank`] handle.
+//! Collectives (barrier, all-gather, broadcast, gather, all-reduce)
+//! are implemented over a shared slot table guarded by two barrier
+//! phases: write → barrier → read → barrier. Point-to-point messages
+//! use per-rank queues with tag matching.
+//!
+//! This reproduces the communication semantics the paper's design
+//! needs (notably the all-gather of predicted compression ratios and
+//! of overflow sizes) without an MPI installation.
+
+use crate::barrier::Barrier;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type Payload = Box<dyn Any + Send>;
+
+/// A tagged point-to-point message.
+struct Message {
+    from: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+/// Shared state of a world of ranks.
+struct Shared {
+    n: usize,
+    barrier: Barrier,
+    /// One slot per rank for collective exchanges.
+    slots: Vec<Mutex<Option<Payload>>>,
+    /// Per-rank inbound message queues.
+    inboxes: Vec<Mutex<VecDeque<Message>>>,
+    /// Per-rank condvars to park receivers.
+    inbox_cv: Vec<parking_lot::Condvar>,
+}
+
+/// A communicator world of `n` ranks.
+pub struct World {
+    shared: Arc<Shared>,
+}
+
+/// Per-thread handle: rank id plus access to the shared world.
+pub struct Rank {
+    rank: usize,
+    shared: Arc<Shared>,
+}
+
+impl World {
+    /// Create a world with `n` ranks.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "world must have at least one rank");
+        let shared = Arc::new(Shared {
+            n,
+            barrier: Barrier::new(n),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            inboxes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inbox_cv: (0..n).map(|_| parking_lot::Condvar::new()).collect(),
+        });
+        World { shared }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Run `f` on every rank in its own thread, returning the per-rank
+    /// results in rank order. Panics in any rank propagate.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Rank) -> T + Sync,
+    {
+        let shared = &self.shared;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shared.n)
+                .map(|r| {
+                    let rank = Rank { rank: r, shared: Arc::clone(shared) };
+                    let f = &f;
+                    s.spawn(move || f(rank))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+}
+
+/// Run `f` over a fresh world of `n` ranks (convenience).
+pub fn run_world<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Rank) -> T + Sync,
+{
+    World::new(n).run(f)
+}
+
+impl Rank {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// All-gather: every rank contributes `value`; returns the values
+    /// of all ranks in rank order. (The paper's phase-2 step: gathering
+    /// predicted compression ratios of every partition.)
+    pub fn all_gather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        *self.shared.slots[self.rank].lock() = Some(Box::new(value));
+        self.shared.barrier.wait();
+        let out: Vec<T> = (0..self.shared.n)
+            .map(|r| {
+                let slot = self.shared.slots[r].lock();
+                slot.as_ref()
+                    .expect("missing contribution")
+                    .downcast_ref::<T>()
+                    .expect("type mismatch in all_gather")
+                    .clone()
+            })
+            .collect();
+        self.shared.barrier.wait();
+        out
+    }
+
+    /// Broadcast `value` from `root` to all ranks.
+    pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        if self.rank == root {
+            *self.shared.slots[root].lock() =
+                Some(Box::new(value.expect("root must supply a value")));
+        }
+        self.shared.barrier.wait();
+        let out = {
+            let slot = self.shared.slots[root].lock();
+            slot.as_ref()
+                .expect("root slot empty")
+                .downcast_ref::<T>()
+                .expect("type mismatch in broadcast")
+                .clone()
+        };
+        self.shared.barrier.wait();
+        out
+    }
+
+    /// Gather values at `root`; non-root ranks receive `None`.
+    pub fn gather<T: Clone + Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        *self.shared.slots[self.rank].lock() = Some(Box::new(value));
+        self.shared.barrier.wait();
+        let out = if self.rank == root {
+            Some(
+                (0..self.shared.n)
+                    .map(|r| {
+                        let slot = self.shared.slots[r].lock();
+                        slot.as_ref()
+                            .expect("missing contribution")
+                            .downcast_ref::<T>()
+                            .expect("type mismatch in gather")
+                            .clone()
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.shared.barrier.wait();
+        out
+    }
+
+    /// All-reduce with a binary fold.
+    pub fn all_reduce<T, F>(&self, value: T, fold: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let all = self.all_gather(value);
+        let mut it = all.into_iter();
+        let first = it.next().expect("non-empty world");
+        it.fold(first, fold)
+    }
+
+    /// Send `value` to rank `to` with `tag` (non-blocking, unbounded).
+    pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, value: T) {
+        let msg = Message { from: self.rank, tag, payload: Box::new(value) };
+        self.shared.inboxes[to].lock().push_back(msg);
+        self.shared.inbox_cv[to].notify_all();
+    }
+
+    /// Receive a message matching `from`/`tag` (blocking).
+    pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> T {
+        let mut inbox = self.shared.inboxes[self.rank].lock();
+        loop {
+            if let Some(pos) =
+                inbox.iter().position(|m| m.from == from && m.tag == tag)
+            {
+                let msg = inbox.remove(pos).unwrap();
+                return *msg
+                    .payload
+                    .downcast::<T>()
+                    .unwrap_or_else(|_| panic!("type mismatch in recv tag {tag}"));
+            }
+            self.shared.inbox_cv[self.rank].wait(&mut inbox);
+        }
+    }
+
+    /// Non-blocking receive; `None` when no matching message is queued.
+    pub fn try_recv<T: Send + 'static>(&self, from: usize, tag: u64) -> Option<T> {
+        let mut inbox = self.shared.inboxes[self.rank].lock();
+        let pos = inbox.iter().position(|m| m.from == from && m.tag == tag)?;
+        let msg = inbox.remove(pos).unwrap();
+        Some(
+            *msg.payload
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("type mismatch in try_recv tag {tag}")),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gather_orders_by_rank() {
+        let out = run_world(6, |rk| {
+            let v = rk.all_gather(rk.rank() * 10);
+            assert_eq!(v, vec![0, 10, 20, 30, 40, 50]);
+            v[rk.rank()]
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        run_world(4, |rk| {
+            for round in 0..20usize {
+                let v = rk.all_gather(rk.rank() + round * 100);
+                for (r, &x) in v.iter().enumerate() {
+                    assert_eq!(x, r + round * 100);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        run_world(5, |rk| {
+            let got = rk.broadcast(3, (rk.rank() == 3).then(|| "hello".to_string()));
+            assert_eq!(got, "hello");
+        });
+    }
+
+    #[test]
+    fn gather_only_at_root() {
+        run_world(4, |rk| {
+            let got = rk.gather(0, rk.rank() as u64);
+            if rk.rank() == 0 {
+                assert_eq!(got.unwrap(), vec![0, 1, 2, 3]);
+            } else {
+                assert!(got.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn all_reduce_sum() {
+        run_world(8, |rk| {
+            let s = rk.all_reduce(rk.rank() as u64 + 1, |a, b| a + b);
+            assert_eq!(s, 36);
+        });
+    }
+
+    #[test]
+    fn send_recv_tagged() {
+        run_world(2, |rk| {
+            if rk.rank() == 0 {
+                rk.send(1, 7, vec![1u8, 2, 3]);
+                rk.send(1, 8, 99u32);
+            } else {
+                // Receive out of order: tag 8 first.
+                let b: u32 = rk.recv(0, 8);
+                assert_eq!(b, 99);
+                let a: Vec<u8> = rk.recv(0, 7);
+                assert_eq!(a, vec![1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        run_world(2, |rk| {
+            if rk.rank() == 1 {
+                assert!(rk.try_recv::<u32>(0, 1).is_none());
+            }
+            rk.barrier();
+            if rk.rank() == 0 {
+                rk.send(1, 1, 5u32);
+            }
+            rk.barrier();
+            if rk.rank() == 1 {
+                assert_eq!(rk.try_recv::<u32>(0, 1), Some(5));
+            }
+        });
+    }
+
+    #[test]
+    fn ring_pass() {
+        let n = 6;
+        let out = run_world(n, |rk| {
+            let next = (rk.rank() + 1) % n;
+            let prev = (rk.rank() + n - 1) % n;
+            rk.send(next, 0, rk.rank());
+            let got: usize = rk.recv(prev, 0);
+            got
+        });
+        for (r, &got) in out.iter().enumerate() {
+            assert_eq!(got, (r + n - 1) % n);
+        }
+    }
+
+    #[test]
+    fn many_ranks_stress() {
+        // 64 threads exchanging collectives repeatedly.
+        run_world(64, |rk| {
+            for _ in 0..5 {
+                let v = rk.all_gather(1u64);
+                assert_eq!(v.iter().sum::<u64>(), 64);
+            }
+        });
+    }
+}

@@ -1,0 +1,24 @@
+//! # commsim — MPI-like collectives over threads-as-ranks
+//!
+//! The paper's system runs on MPI; its algorithms use exactly three
+//! communication patterns: barriers, an all-gather of small metadata
+//! (predicted ratios, overflow sizes), and independent I/O. This crate
+//! provides those semantics with OS threads standing in for MPI ranks,
+//! so the planner and write pipeline exercise the same code paths they
+//! would under real MPI.
+//!
+//! ```
+//! use commsim::run_world;
+//!
+//! let sums = run_world(4, |rk| {
+//!     let all = rk.all_gather(rk.rank() as u64);
+//!     all.iter().sum::<u64>()
+//! });
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+pub mod barrier;
+pub mod communicator;
+
+pub use barrier::Barrier;
+pub use communicator::{run_world, Rank, World};

@@ -1,0 +1,83 @@
+//! Stress and property tests for the threads-as-ranks communicator.
+
+use commsim::{run_world, World};
+use proptest::prelude::*;
+
+#[test]
+fn mixed_collectives_interleave_correctly() {
+    // A workload resembling the paper's pipeline: barrier, all-gather
+    // of per-rank metadata, gather at root, broadcast of a decision,
+    // repeated for several "fields".
+    let n = 12;
+    run_world(n, |rk| {
+        for field in 0..6u64 {
+            let sizes = rk.all_gather(rk.rank() as u64 * 100 + field);
+            assert_eq!(sizes.len(), n);
+            for (r, &s) in sizes.iter().enumerate() {
+                assert_eq!(s, r as u64 * 100 + field);
+            }
+            let at_root = rk.gather(0, sizes[rk.rank()]);
+            let decision = if rk.rank() == 0 {
+                Some(at_root.unwrap().iter().sum::<u64>())
+            } else {
+                None
+            };
+            let total = rk.broadcast(0, decision);
+            assert_eq!(total, (0..n as u64).map(|r| r * 100 + field).sum::<u64>());
+            rk.barrier();
+        }
+    });
+}
+
+#[test]
+fn world_reusable_across_runs() {
+    let world = World::new(4);
+    let a = world.run(|rk| rk.all_reduce(1u32, |x, y| x + y));
+    let b = world.run(|rk| rk.all_reduce(2u32, |x, y| x + y));
+    assert_eq!(a, vec![4; 4]);
+    assert_eq!(b, vec![8; 4]);
+}
+
+#[test]
+fn heavy_point_to_point_traffic() {
+    // All-to-all sends with per-pair tags.
+    let n = 8;
+    run_world(n, |rk| {
+        for to in 0..n {
+            if to != rk.rank() {
+                rk.send(to, (rk.rank() * n + to) as u64, vec![rk.rank() as u32; 100]);
+            }
+        }
+        for from in 0..n {
+            if from != rk.rank() {
+                let v: Vec<u32> = rk.recv(from, (from * n + rk.rank()) as u64);
+                assert_eq!(v, vec![from as u32; 100]);
+            }
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_gather_arbitrary_payloads(values in proptest::collection::vec(any::<i64>(), 2..10)) {
+        let n = values.len();
+        let vals = values.clone();
+        let out = run_world(n, move |rk| {
+            let gathered = rk.all_gather(vals[rk.rank()]);
+            assert_eq!(gathered, vals);
+            gathered[rk.rank()]
+        });
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn all_reduce_max_equals_iterator_max(values in proptest::collection::vec(any::<u32>(), 2..10)) {
+        let n = values.len();
+        let vals = values.clone();
+        let expect = *values.iter().max().unwrap();
+        let out = run_world(n, move |rk| rk.all_reduce(vals[rk.rank()], |a, b| a.max(b)));
+        prop_assert!(out.into_iter().all(|v| v == expect));
+    }
+}

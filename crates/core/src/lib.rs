@@ -1,0 +1,44 @@
+//! # predwrite — predictive lossy compression deeply integrated with
+//! parallel write
+//!
+//! The core of the SC'22 paper reproduction: pre-computing shared-file
+//! write offsets from *predicted* compressed sizes so compression and
+//! parallel writes overlap, instead of serializing compress → gather →
+//! collective-write as the H5Z-SZ filter path must.
+//!
+//! Pipeline (paper §III, Fig. 3):
+//!
+//! 1. **Predict** ratio + compression/write time per partition
+//!    (`ratiomodel`), ~5 % of compression cost.
+//! 2. **All-gather** predicted sizes; every rank then derives the
+//!    *same* file layout independently ([`plan::WritePlan`]), each
+//!    slot padded by the extra-space policy ([`extraspace`], Eq. 3).
+//! 3. **Reorder** each rank's compression queue to maximize
+//!    compute/write overlap ([`scheduler`], Algorithm 1).
+//! 4. **Overlap**: compress each field and hand the stream to an
+//!    asynchronous write (h5lite event set) targeting the
+//!    pre-computed offset.
+//! 5. **Redirect overflow**: partitions larger than their reservation
+//!    write a fitting prefix in place; the excess is appended past the
+//!    reserved region after an all-gather of overflow sizes (Fig. 8).
+//!
+//! Two engines execute the pipeline: [`real`] (threads-as-ranks, real
+//! compression, real throttled file I/O; used up to 64 ranks) and
+//! [`sim`] (discrete-event replay of partition profiles; used for the
+//! 256–4096-rank sweeps of Fig. 16–18). Both share the planner code.
+
+pub mod extraspace;
+pub mod metrics;
+pub mod plan;
+pub mod profile;
+pub mod real;
+pub mod scheduler;
+pub mod sim;
+
+pub use extraspace::{weight_to_rspace, ExtraSpacePolicy, RSPACE_MAX, RSPACE_MIN};
+pub use metrics::{Breakdown, Method, RunResult};
+pub use plan::{fit_split, plan_overflow, FitSplit, PartitionPrediction, PartitionSlot, WritePlan};
+pub use profile::{profile_partition, replicate_profiles, PartitionProfile};
+pub use real::{run_real, RankFieldData, RealConfig, RealError};
+pub use scheduler::{identity_order, optimize_order, queue_time};
+pub use sim::{simulate_all, simulate_method, SimParams};

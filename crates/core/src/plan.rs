@@ -1,0 +1,214 @@
+//! Shared-file layout planning from gathered predictions.
+//!
+//! After the all-gather of per-partition predicted sizes, **every rank
+//! computes the same layout independently** (the paper's consistency
+//! argument: identical inputs → identical offsets, no further
+//! communication). The layout places each field's partitions
+//! consecutively in rank order, each padded by the extra-space policy.
+
+use crate::extraspace::ExtraSpacePolicy;
+
+/// Prediction for one partition as distributed by the all-gather.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionPrediction {
+    /// Predicted compressed bytes.
+    pub bytes: u64,
+    /// Predicted compression ratio (drives Eq. 3).
+    pub ratio: f64,
+}
+
+/// Planned placement of one partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionSlot {
+    /// Absolute offset in the shared file.
+    pub offset: u64,
+    /// Reserved length (prediction × effective extra-space ratio).
+    pub reserved: u64,
+    /// The prediction the reservation came from.
+    pub predicted: u64,
+}
+
+/// Full layout: `slots[rank][field]` plus the end of the reserved
+/// region (where overflow appends begin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WritePlan {
+    /// Per-rank, per-field slots.
+    pub slots: Vec<Vec<PartitionSlot>>,
+    /// First byte offset of the layout.
+    pub base: u64,
+    /// One past the last reserved byte.
+    pub data_end: u64,
+}
+
+impl WritePlan {
+    /// Build the layout from gathered predictions
+    /// (`predictions[rank][field]`), starting at `base`.
+    ///
+    /// Field-major placement: all ranks' partitions of field 0, then
+    /// field 1, … — matching one HDF5 dataset per field with one chunk
+    /// per rank.
+    pub fn build(
+        predictions: &[Vec<PartitionPrediction>],
+        policy: &ExtraSpacePolicy,
+        base: u64,
+    ) -> WritePlan {
+        let nranks = predictions.len();
+        let nfields = predictions.first().map_or(0, Vec::len);
+        debug_assert!(predictions.iter().all(|p| p.len() == nfields));
+
+        let mut slots = vec![vec![PartitionSlot { offset: 0, reserved: 0, predicted: 0 }; nfields]; nranks];
+        let mut cursor = base;
+        for f in 0..nfields {
+            for (r, rank_preds) in predictions.iter().enumerate() {
+                let p = rank_preds[f];
+                let reserved = policy.reserve_bytes(p.bytes, p.ratio);
+                slots[r][f] = PartitionSlot { offset: cursor, reserved, predicted: p.bytes };
+                cursor += reserved;
+            }
+        }
+        WritePlan { slots, base, data_end: cursor }
+    }
+
+    /// Total reserved bytes.
+    pub fn reserved_total(&self) -> u64 {
+        self.data_end - self.base
+    }
+
+    /// Check the invariant that slots are disjoint and sorted.
+    pub fn is_disjoint(&self) -> bool {
+        let mut all: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|s| (s.offset, s.reserved))
+            .collect();
+        all.sort_unstable();
+        all.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0)
+    }
+}
+
+/// Outcome of one partition's compression vs. its reservation: the
+/// fitting prefix goes to the reserved slot, the excess to the
+/// overflow region (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitSplit {
+    /// Bytes written into the reserved slot.
+    pub in_slot: u64,
+    /// Excess bytes redirected to the overflow region.
+    pub overflow: u64,
+}
+
+/// Split an actual compressed size against a reservation.
+pub fn fit_split(actual: u64, reserved: u64) -> FitSplit {
+    if actual <= reserved {
+        FitSplit { in_slot: actual, overflow: 0 }
+    } else {
+        FitSplit { in_slot: reserved, overflow: actual - reserved }
+    }
+}
+
+/// Plan the overflow region: given gathered overflow sizes
+/// (`overflow[rank][field]`), assign consecutive offsets starting at
+/// `data_end`. Deterministic across ranks, like the main layout.
+pub fn plan_overflow(overflow: &[Vec<u64>], data_end: u64) -> Vec<Vec<u64>> {
+    let mut cursor = data_end;
+    let nfields = overflow.first().map_or(0, Vec::len);
+    let mut offsets = vec![vec![0u64; nfields]; overflow.len()];
+    for f in 0..nfields {
+        for (r, rank_ovf) in overflow.iter().enumerate() {
+            offsets[r][f] = cursor;
+            cursor += rank_ovf[f];
+        }
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preds(vals: &[&[u64]]) -> Vec<Vec<PartitionPrediction>> {
+        vals.iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&b| PartitionPrediction { bytes: b, ratio: 10.0 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn layout_is_field_major_and_disjoint() {
+        let p = preds(&[&[100, 200], &[50, 80]]);
+        let plan = WritePlan::build(&p, &ExtraSpacePolicy::new(1.0), 32);
+        assert!(plan.is_disjoint());
+        // field 0: rank0 @32 len100, rank1 @132 len50; field 1 follows.
+        assert_eq!(plan.slots[0][0].offset, 32);
+        assert_eq!(plan.slots[1][0].offset, 132);
+        assert_eq!(plan.slots[0][1].offset, 182);
+        assert_eq!(plan.slots[1][1].offset, 382);
+        assert_eq!(plan.data_end, 462);
+        assert_eq!(plan.reserved_total(), 430);
+    }
+
+    #[test]
+    fn extra_space_inflates_slots() {
+        let p = preds(&[&[100]]);
+        let plan = WritePlan::build(&p, &ExtraSpacePolicy::new(1.25), 0);
+        assert_eq!(plan.slots[0][0].reserved, 125);
+    }
+
+    #[test]
+    fn eq3_applies_per_partition() {
+        let p = vec![vec![
+            PartitionPrediction { bytes: 100, ratio: 10.0 },
+            PartitionPrediction { bytes: 100, ratio: 50.0 },
+        ]];
+        let plan = WritePlan::build(&p, &ExtraSpacePolicy::new(1.25), 0);
+        assert_eq!(plan.slots[0][0].reserved, 125);
+        assert_eq!(plan.slots[0][1].reserved, 200); // widened by Eq. 3
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let p = preds(&[&[10, 20, 30], &[5, 15, 25], &[7, 7, 7]]);
+        let a = WritePlan::build(&p, &ExtraSpacePolicy::default(), 64);
+        let b = WritePlan::build(&p, &ExtraSpacePolicy::default(), 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fit_split_cases() {
+        assert_eq!(fit_split(80, 100), FitSplit { in_slot: 80, overflow: 0 });
+        assert_eq!(fit_split(100, 100), FitSplit { in_slot: 100, overflow: 0 });
+        assert_eq!(fit_split(130, 100), FitSplit { in_slot: 100, overflow: 30 });
+    }
+
+    #[test]
+    fn fit_split_conserves_bytes() {
+        for actual in [0u64, 1, 99, 100, 101, 1000] {
+            let s = fit_split(actual, 100);
+            assert_eq!(s.in_slot + s.overflow, actual);
+            assert!(s.in_slot <= 100);
+        }
+    }
+
+    #[test]
+    fn overflow_offsets_consecutive() {
+        let ovf = vec![vec![0, 30], vec![10, 0]];
+        let off = plan_overflow(&ovf, 1000);
+        // field-major: rank0/f0 @1000 (len 0), rank1/f0 @1000 (len 10),
+        // rank0/f1 @1010 (30), rank1/f1 @1040 (0).
+        assert_eq!(off[0][0], 1000);
+        assert_eq!(off[1][0], 1000);
+        assert_eq!(off[0][1], 1010);
+        assert_eq!(off[1][1], 1040);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = WritePlan::build(&[], &ExtraSpacePolicy::default(), 0);
+        assert_eq!(plan.data_end, 0);
+        assert!(plan.is_disjoint());
+    }
+}

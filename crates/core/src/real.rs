@@ -1,0 +1,433 @@
+//! Real execution engine: threads-as-ranks, real szlite compression,
+//! real writes into an h5lite shared file through a bandwidth throttle.
+//!
+//! This engine runs the paper's full §III pipeline end to end —
+//! prediction, all-gather, layout with extra space, (optionally
+//! reordered) overlapped compress/async-write, overflow redirection,
+//! metadata close — and the produced file decodes back within the
+//! error bound. It is used by the integration tests and examples at
+//! 4–64 ranks; scale sweeps use [`crate::sim`] with the same planner.
+
+// Index-based loops below address several parallel arrays (data,
+// plans, dataset ids) by the same field index; iterator zipping would
+// obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
+use crate::extraspace::ExtraSpacePolicy;
+use crate::metrics::{Breakdown, Method, RunResult};
+use crate::plan::{fit_split, plan_overflow, PartitionPrediction, WritePlan};
+use crate::scheduler::{identity_order, optimize_order};
+use commsim::World;
+use h5lite::{
+    AttrValue, DatasetSpec, Dtype, EventSet, FilterSpec, H5File, SzFilterParams,
+    SZLITE_FILTER_ID,
+};
+use pfsim::{BandwidthModel, Throttle};
+use ratiomodel::Models;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use szlite::{compress_f32, Config, Dims, ErrorBound};
+
+/// One rank's slice of one field.
+#[derive(Debug, Clone)]
+pub struct RankFieldData {
+    /// Field name (dataset path in the file).
+    pub name: String,
+    /// The rank's partition values.
+    pub data: Vec<f32>,
+    /// Partition extents.
+    pub dims: Dims,
+}
+
+/// Configuration of a real run.
+#[derive(Clone)]
+pub struct RealConfig {
+    /// Which method to execute.
+    pub method: Method,
+    /// Per-field compression configuration (ignored by
+    /// [`Method::NoCompression`]).
+    pub configs: Vec<Config>,
+    /// Fitted prediction models.
+    pub models: Models,
+    /// Extra-space policy for the predictive methods.
+    pub policy: ExtraSpacePolicy,
+    /// Bandwidth model the throttle enforces.
+    pub bandwidth: BandwidthModel,
+    /// Scale factor on the model's aggregate cap (tests use small
+    /// scales so wall-clock stays short while contention is real).
+    pub throttle_scale: f64,
+    /// Output file path.
+    pub path: PathBuf,
+}
+
+/// Error from the real engine.
+#[derive(Debug)]
+pub struct RealError(pub String);
+
+impl std::fmt::Display for RealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "real engine: {}", self.0)
+    }
+}
+
+impl std::error::Error for RealError {}
+
+impl From<h5lite::H5Error> for RealError {
+    fn from(e: h5lite::H5Error) -> Self {
+        RealError(e.to_string())
+    }
+}
+
+impl From<szlite::SzError> for RealError {
+    fn from(e: szlite::SzError) -> Self {
+        RealError(e.to_string())
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RankOutcome {
+    predict: f64,
+    allgather: f64,
+    compress: f64,
+    write: f64,
+    overflow: f64,
+    total: f64,
+    compressed_bytes: u64,
+    overflow_bytes: u64,
+    n_overflow: usize,
+}
+
+/// Execute a parallel write with `data[rank][field]`.
+///
+/// Returns the aggregated [`RunResult`]; the written file at
+/// `cfg.path` is closed and readable with [`h5lite::H5Reader`].
+pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResult, RealError> {
+    let nranks = data.len();
+    if nranks == 0 {
+        return Err(RealError("no ranks".into()));
+    }
+    let nfields = data[0].len();
+    if nfields == 0 || data.iter().any(|r| r.len() != nfields) {
+        return Err(RealError("all ranks need the same field list".into()));
+    }
+    for f in 0..nfields {
+        let n0 = data[0][f].data.len();
+        if data.iter().any(|r| r[f].data.len() != n0) {
+            return Err(RealError("per-field partition sizes must be uniform".into()));
+        }
+    }
+    let compressed = cfg.method != Method::NoCompression;
+    if compressed && cfg.configs.len() != nfields {
+        return Err(RealError("need one Config per field".into()));
+    }
+
+    // Create the shared file and one chunked dataset per field.
+    let file = H5File::create(&cfg.path)?;
+    let mut dataset_ids = Vec::with_capacity(nfields);
+    for f in 0..nfields {
+        let part_points = data[0][f].data.len() as u64;
+        let total_points = part_points * nranks as u64;
+        let mut spec = DatasetSpec::new(&data[0][f].name, Dtype::F32, &[total_points])
+            .chunked(&[part_points]);
+        if compressed {
+            let (absolute, bound) = match cfg.configs[f].error_bound {
+                ErrorBound::Abs(b) => (true, b),
+                ErrorBound::Rel(b) => (false, b),
+            };
+            spec = spec.with_filter(FilterSpec {
+                id: SZLITE_FILTER_ID,
+                params: SzFilterParams {
+                    absolute,
+                    bound,
+                    dims: data[0][f].dims.extents().to_vec(),
+                }
+                .to_bytes(),
+            });
+        }
+        dataset_ids.push(file.create_dataset(spec)?);
+    }
+
+    let throttle = Arc::new(Throttle::from_model(
+        &BandwidthModel {
+            aggregate_cap: cfg.bandwidth.aggregate_cap,
+            ..cfg.bandwidth
+        },
+        cfg.throttle_scale,
+    ));
+
+    let world = World::new(nranks);
+    let base = file.tail(); // after the superblock
+
+    let outcomes: Vec<Result<RankOutcome, String>> = world.run(|rk| {
+        let r = rk.rank();
+        let run = || -> Result<RankOutcome, String> {
+            let mut out = RankOutcome::default();
+            let t0 = Instant::now();
+            match cfg.method {
+                Method::NoCompression => {
+                    // Offsets are known from raw sizes; independent
+                    // async writes of every field.
+                    let sizes: Vec<Vec<PartitionPrediction>> = (0..nranks)
+                        .map(|rr| {
+                            (0..nfields)
+                                .map(|f| PartitionPrediction {
+                                    bytes: (data[rr][f].data.len() * 4) as u64,
+                                    ratio: 1.0,
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    let plan =
+                        WritePlan::build(&sizes, &ExtraSpacePolicy::new(1.0), base);
+                    let es = EventSet::new(1);
+                    for f in 0..nfields {
+                        let bytes: Vec<u8> = data[r][f]
+                            .data
+                            .iter()
+                            .flat_map(|v| v.to_le_bytes())
+                            .collect();
+                        let len = bytes.len() as u64;
+                        es.write_at(
+                            file.shared_file(),
+                            plan.slots[r][f].offset,
+                            bytes,
+                            Some(Arc::clone(&throttle)),
+                        );
+                        file.record_chunk(
+                            dataset_ids[f],
+                            h5lite::ChunkInfo {
+                                index: r as u64,
+                                offset: plan.slots[r][f].offset,
+                                stored: len,
+                                raw: len,
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.compressed_bytes += len;
+                    }
+                    es.wait().map_err(|e| e.to_string())?;
+                    out.write = t0.elapsed().as_secs_f64();
+                }
+                Method::FilterCollective => {
+                    // Compress everything first (the filter model).
+                    let tc = Instant::now();
+                    let mut streams = Vec::with_capacity(nfields);
+                    for f in 0..nfields {
+                        let s = compress_f32(&data[r][f].data, &data[r][f].dims, &cfg.configs[f])
+                            .map_err(|e| e.to_string())?;
+                        streams.push(s);
+                    }
+                    out.compress = tc.elapsed().as_secs_f64();
+                    // All-gather the actual sizes.
+                    let ta = Instant::now();
+                    let my_sizes: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
+                    let all_sizes: Vec<Vec<u64>> = rk.all_gather(my_sizes);
+                    out.allgather = ta.elapsed().as_secs_f64();
+                    let preds: Vec<Vec<PartitionPrediction>> = all_sizes
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .map(|&b| PartitionPrediction { bytes: b, ratio: 1.0 })
+                                .collect()
+                        })
+                        .collect();
+                    let plan = WritePlan::build(&preds, &ExtraSpacePolicy::new(1.0), base);
+                    // Collective write: one synchronized round per field.
+                    let tw = Instant::now();
+                    for f in 0..nfields {
+                        rk.barrier();
+                        throttle.acquire(streams[f].len() as u64);
+                        file.shared_file()
+                            .write_at(plan.slots[r][f].offset, &streams[f])
+                            .map_err(|e| e.to_string())?;
+                        file.record_chunk(
+                            dataset_ids[f],
+                            h5lite::ChunkInfo {
+                                index: r as u64,
+                                offset: plan.slots[r][f].offset,
+                                stored: streams[f].len() as u64,
+                                raw: (data[r][f].data.len() * 4) as u64,
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                        rk.barrier();
+                    }
+                    out.write = tw.elapsed().as_secs_f64();
+                    out.compressed_bytes = streams.iter().map(|s| s.len() as u64).sum();
+                }
+                Method::Overlap | Method::OverlapReorder => {
+                    // Phase 1: prediction.
+                    let tp = Instant::now();
+                    let mut my_preds = Vec::with_capacity(nfields);
+                    for f in 0..nfields {
+                        let est = ratiomodel::estimate_partition(
+                            &data[r][f].data,
+                            &data[r][f].dims,
+                            &cfg.configs[f],
+                            &cfg.models,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        my_preds.push(est);
+                    }
+                    out.predict = tp.elapsed().as_secs_f64();
+
+                    // Phase 2: all-gather predicted sizes.
+                    let ta = Instant::now();
+                    let wire: Vec<(u64, f64)> =
+                        my_preds.iter().map(|e| (e.bytes, e.ratio)).collect();
+                    let gathered: Vec<Vec<(u64, f64)>> = rk.all_gather(wire);
+                    out.allgather = ta.elapsed().as_secs_f64();
+
+                    // Phase 3: identical layout on every rank.
+                    let preds: Vec<Vec<PartitionPrediction>> = gathered
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .map(|&(bytes, ratio)| PartitionPrediction { bytes, ratio })
+                                .collect()
+                        })
+                        .collect();
+                    let plan = WritePlan::build(&preds, &cfg.policy, base);
+
+                    // Phase 4: compression order.
+                    let order = if cfg.method == Method::OverlapReorder {
+                        let pc: Vec<f64> = my_preds.iter().map(|e| e.comp_time).collect();
+                        let pw: Vec<f64> = my_preds.iter().map(|e| e.write_time).collect();
+                        optimize_order(&pc, &pw)
+                    } else {
+                        identity_order(nfields)
+                    };
+
+                    // Phase 5: overlapped compress + async write.
+                    let es = EventSet::new(1);
+                    let mut overflow_parts: Vec<(usize, Vec<u8>)> = Vec::new();
+                    let tc = Instant::now();
+                    let mut comp_total = 0.0;
+                    for &f in &order {
+                        let t1 = Instant::now();
+                        let stream =
+                            compress_f32(&data[r][f].data, &data[r][f].dims, &cfg.configs[f])
+                                .map_err(|e| e.to_string())?;
+                        comp_total += t1.elapsed().as_secs_f64();
+                        out.compressed_bytes += stream.len() as u64;
+                        let slot = plan.slots[r][f];
+                        let split = fit_split(stream.len() as u64, slot.reserved);
+                        let (head, tail) = stream.split_at(split.in_slot as usize);
+                        es.write_at(
+                            file.shared_file(),
+                            slot.offset,
+                            head.to_vec(),
+                            Some(Arc::clone(&throttle)),
+                        );
+                        file.record_chunk(
+                            dataset_ids[f],
+                            h5lite::ChunkInfo {
+                                index: r as u64,
+                                offset: slot.offset,
+                                stored: split.in_slot,
+                                raw: (data[r][f].data.len() * 4) as u64,
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                        if !tail.is_empty() {
+                            out.n_overflow += 1;
+                            out.overflow_bytes += tail.len() as u64;
+                            overflow_parts.push((f, tail.to_vec()));
+                        }
+                    }
+                    out.compress = comp_total;
+                    es.wait().map_err(|e| e.to_string())?;
+                    // Extra write time beyond the compression span.
+                    out.write = (tc.elapsed().as_secs_f64() - comp_total).max(0.0);
+
+                    // Phase 6: overflow redirection.
+                    let to = Instant::now();
+                    let mut my_ovf = vec![0u64; nfields];
+                    for (f, bytes) in &overflow_parts {
+                        my_ovf[*f] = bytes.len() as u64;
+                    }
+                    let all_ovf: Vec<Vec<u64>> = rk.all_gather(my_ovf);
+                    let any_overflow = all_ovf.iter().flatten().any(|&b| b > 0);
+                    if any_overflow {
+                        let offsets = plan_overflow(&all_ovf, plan.data_end);
+                        for (f, bytes) in overflow_parts {
+                            throttle.acquire(bytes.len() as u64);
+                            file.shared_file()
+                                .write_at(offsets[r][f], &bytes)
+                                .map_err(|e| e.to_string())?;
+                            file.record_chunk(
+                                dataset_ids[f],
+                                h5lite::ChunkInfo {
+                                    index: r as u64,
+                                    offset: offsets[r][f],
+                                    stored: bytes.len() as u64,
+                                    raw: 0,
+                                },
+                            )
+                            .map_err(|e| e.to_string())?;
+                        }
+                    }
+                    rk.barrier();
+                    out.overflow = to.elapsed().as_secs_f64();
+                    if r == 0 {
+                        file.shared_file().advance_tail_to(plan.data_end);
+                    }
+                }
+            }
+            out.total = t0.elapsed().as_secs_f64();
+            Ok(out)
+        };
+        run()
+    });
+
+    let mut agg = RankOutcome::default();
+    for o in outcomes {
+        let o = o.map_err(RealError)?;
+        agg.predict = agg.predict.max(o.predict);
+        agg.allgather = agg.allgather.max(o.allgather);
+        agg.compress = agg.compress.max(o.compress);
+        agg.write = agg.write.max(o.write);
+        agg.overflow = agg.overflow.max(o.overflow);
+        agg.total = agg.total.max(o.total);
+        agg.compressed_bytes += o.compressed_bytes;
+        agg.overflow_bytes += o.overflow_bytes;
+        agg.n_overflow += o.n_overflow;
+    }
+
+    // Metadata: record run parameters as attributes, then close.
+    for (f, &id) in dataset_ids.iter().enumerate() {
+        file.set_attr(id, "method", AttrValue::Str(cfg.method.label().to_string()))?;
+        if compressed {
+            let bound = match cfg.configs[f].error_bound {
+                ErrorBound::Abs(b) | ErrorBound::Rel(b) => b,
+            };
+            file.set_attr(id, "error_bound", AttrValue::F64(bound))?;
+        }
+        file.set_attr(id, "rspace", AttrValue::F64(cfg.policy.rspace))?;
+    }
+    file.close()?;
+
+    let raw_bytes: u64 = data
+        .iter()
+        .flatten()
+        .map(|fd| (fd.data.len() * 4) as u64)
+        .sum();
+    let file_bytes = std::fs::metadata(&cfg.path).map(|m| m.len()).unwrap_or(0);
+    Ok(RunResult {
+        method: cfg.method,
+        total_time: agg.total,
+        breakdown: Breakdown {
+            predict: agg.predict,
+            allgather: agg.allgather,
+            compress: agg.compress,
+            write: agg.write,
+            overflow: agg.overflow,
+        },
+        raw_bytes,
+        compressed_bytes: agg.compressed_bytes,
+        file_bytes,
+        n_overflow: agg.n_overflow,
+        overflow_bytes: agg.overflow_bytes,
+    })
+}

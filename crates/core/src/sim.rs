@@ -1,0 +1,398 @@
+//! Simulated execution of the four write methods over partition
+//! profiles — the engine behind every scale/ratio sweep (Fig. 16–18).
+//!
+//! Identical planner code (extra space, Algorithm 1 ordering, overflow
+//! planning) to the real engine; only execution is replaced by the
+//! discrete-event pipeline simulator of `pfsim`.
+
+use crate::extraspace::ExtraSpacePolicy;
+use crate::metrics::{Breakdown, Method, RunResult};
+use crate::plan::{fit_split, PartitionPrediction, WritePlan};
+use crate::profile::PartitionProfile;
+use crate::scheduler::{identity_order, optimize_order};
+use pfsim::{
+    collective_write_time, simulate, simulate_concurrent_writes, BandwidthModel, PipelineTask,
+    RankPipeline,
+};
+
+/// Simulation parameters beyond the bandwidth model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimParams {
+    /// File system model.
+    pub bandwidth: BandwidthModel,
+    /// Extra-space policy for the predictive methods.
+    pub policy: ExtraSpacePolicy,
+    /// All-gather latency: `alpha + beta · nranks` seconds. The paper
+    /// notes this term grows with scale (§IV-D).
+    pub allgather_alpha: f64,
+    /// Per-rank all-gather cost.
+    pub allgather_beta: f64,
+    /// Prediction overhead as a fraction of compression time (< 0.1
+    /// per Jin et al. \[25\]).
+    pub predict_frac: f64,
+}
+
+impl SimParams {
+    /// Defaults on a given bandwidth model.
+    pub fn new(bandwidth: BandwidthModel) -> Self {
+        SimParams {
+            bandwidth,
+            policy: ExtraSpacePolicy::default(),
+            allgather_alpha: 200e-6,
+            allgather_beta: 1.5e-6,
+            predict_frac: 0.05,
+        }
+    }
+
+    /// Override the extra-space policy.
+    pub fn with_policy(mut self, policy: ExtraSpacePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn allgather_time(&self, nranks: usize) -> f64 {
+        self.allgather_alpha + self.allgather_beta * nranks as f64
+    }
+}
+
+fn totals(profiles: &[Vec<PartitionProfile>]) -> (u64, u64) {
+    let raw = profiles.iter().flatten().map(|p| p.raw_bytes).sum();
+    let comp = profiles.iter().flatten().map(|p| p.actual_bytes).sum();
+    (raw, comp)
+}
+
+/// Simulate one method over `profiles[rank][field]`.
+pub fn simulate_method(
+    method: Method,
+    profiles: &[Vec<PartitionProfile>],
+    params: &SimParams,
+) -> RunResult {
+    match method {
+        Method::NoCompression => sim_nocomp(profiles, params),
+        Method::FilterCollective => sim_filter(profiles, params),
+        Method::Overlap => sim_overlap(profiles, params, false),
+        Method::OverlapReorder => sim_overlap(profiles, params, true),
+    }
+}
+
+/// Simulate all four methods (shared profiles → comparable results).
+pub fn simulate_all(profiles: &[Vec<PartitionProfile>], params: &SimParams) -> Vec<RunResult> {
+    Method::ALL
+        .iter()
+        .map(|&m| simulate_method(m, profiles, params))
+        .collect()
+}
+
+fn sim_nocomp(profiles: &[Vec<PartitionProfile>], params: &SimParams) -> RunResult {
+    let ranks: Vec<RankPipeline> = profiles
+        .iter()
+        .map(|fields| RankPipeline {
+            release: 0.0,
+            tasks: fields
+                .iter()
+                .map(|p| PipelineTask { compute: 0.0, write_bytes: p.raw_bytes as f64 })
+                .collect(),
+        })
+        .collect();
+    let out = simulate(&ranks, &params.bandwidth);
+    let (raw, _) = totals(profiles);
+    RunResult {
+        method: Method::NoCompression,
+        total_time: out.makespan,
+        breakdown: Breakdown { write: out.makespan, ..Default::default() },
+        raw_bytes: raw,
+        compressed_bytes: raw,
+        file_bytes: raw,
+        n_overflow: 0,
+        overflow_bytes: 0,
+    }
+}
+
+fn sim_filter(profiles: &[Vec<PartitionProfile>], params: &SimParams) -> RunResult {
+    let nranks = profiles.len();
+    let nfields = profiles.first().map_or(0, Vec::len);
+    // Phase 1: all ranks compress everything; barrier at the slowest.
+    let compress = profiles
+        .iter()
+        .map(|fields| fields.iter().map(|p| p.comp_time).sum::<f64>())
+        .fold(0.0, f64::max);
+    // Phase 2: all-gather of actual sizes.
+    let ag = params.allgather_time(nranks);
+    // Phase 3: one collective round per field (filters force collective
+    // writes; every rank participates in every round).
+    let mut write = 0.0;
+    for f in 0..nfields {
+        let sizes: Vec<f64> = profiles.iter().map(|r| r[f].actual_bytes as f64).collect();
+        write += collective_write_time(&sizes, &params.bandwidth);
+    }
+    let (raw, comp) = totals(profiles);
+    RunResult {
+        method: Method::FilterCollective,
+        total_time: compress + ag + write,
+        breakdown: Breakdown { allgather: ag, compress, write, ..Default::default() },
+        raw_bytes: raw,
+        compressed_bytes: comp,
+        file_bytes: comp,
+        n_overflow: 0,
+        overflow_bytes: 0,
+    }
+}
+
+fn sim_overlap(profiles: &[Vec<PartitionProfile>], params: &SimParams, reorder: bool) -> RunResult {
+    let nranks = profiles.len();
+
+    // Phase 1: prediction (sampling) on every rank, then the
+    // all-gather synchronizes everyone at max(predict) + ag.
+    let predict = profiles
+        .iter()
+        .map(|fields| {
+            fields.iter().map(|p| p.comp_time).sum::<f64>() * params.predict_frac
+        })
+        .fold(0.0, f64::max);
+    let ag = params.allgather_time(nranks);
+    let release = predict + ag;
+
+    // Phase 2: layout from *predicted* sizes.
+    let predictions: Vec<Vec<PartitionPrediction>> = profiles
+        .iter()
+        .map(|fields| {
+            fields
+                .iter()
+                .map(|p| PartitionPrediction { bytes: p.pred_bytes, ratio: p.pred_ratio })
+                .collect()
+        })
+        .collect();
+    let plan = WritePlan::build(&predictions, &params.policy, 0);
+
+    // Phase 3: per-rank ordered compress→write pipelines.
+    let mut n_overflow = 0usize;
+    let mut overflow_bytes = 0u64;
+    let mut rank_overflow = vec![0u64; nranks];
+    let ranks: Vec<RankPipeline> = profiles
+        .iter()
+        .enumerate()
+        .map(|(r, fields)| {
+            let order = if reorder {
+                let pc: Vec<f64> = fields.iter().map(|p| p.pred_comp_time).collect();
+                let pw: Vec<f64> = fields.iter().map(|p| p.pred_write_time).collect();
+                optimize_order(&pc, &pw)
+            } else {
+                identity_order(fields.len())
+            };
+            let tasks = order
+                .iter()
+                .map(|&f| {
+                    let p = &fields[f];
+                    let split = fit_split(p.actual_bytes, plan.slots[r][f].reserved);
+                    if split.overflow > 0 {
+                        n_overflow += 1;
+                        overflow_bytes += split.overflow;
+                        rank_overflow[r] += split.overflow;
+                    }
+                    PipelineTask { compute: p.comp_time, write_bytes: split.in_slot as f64 }
+                })
+                .collect();
+            RankPipeline { release, tasks }
+        })
+        .collect();
+    let out = simulate(&ranks, &params.bandwidth);
+    let compress_end = out.last_compute_done();
+    let makespan = out.makespan;
+
+    // Phase 4: overflow — a second all-gather of overflow sizes, then
+    // the affected ranks append concurrently.
+    let mut overflow_time = 0.0;
+    if overflow_bytes > 0 {
+        let sizes: Vec<f64> = rank_overflow
+            .iter()
+            .filter(|&&b| b > 0)
+            .map(|&b| b as f64)
+            .collect();
+        let (_, round) = simulate_concurrent_writes(&sizes, &params.bandwidth);
+        overflow_time = params.allgather_time(nranks) + round;
+    }
+
+    let (raw, comp) = totals(profiles);
+    // File: everything reserved stays allocated; overflow appends past
+    // the end (in-slot bytes within reservations are not reclaimed).
+    let file_bytes = plan.reserved_total() + overflow_bytes;
+    RunResult {
+        method: if reorder { Method::OverlapReorder } else { Method::Overlap },
+        total_time: makespan + overflow_time,
+        breakdown: Breakdown {
+            predict,
+            allgather: ag,
+            compress: compress_end - release,
+            write: makespan - compress_end,
+            overflow: overflow_time,
+        },
+        raw_bytes: raw,
+        compressed_bytes: comp,
+        file_bytes,
+        n_overflow,
+        overflow_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic profile set: `nranks` ranks × `nfields` fields with a
+    /// spread of sizes and compression times. Partition size matches
+    /// the paper's weak-scaling unit (256³ points = 64 MiB raw).
+    fn synth(nranks: usize, nfields: usize, ratio: f64, accurate: bool) -> Vec<Vec<PartitionProfile>> {
+        let n_points = 1 << 24; // 16 Mi points = 64 MiB raw
+        (0..nranks)
+            .map(|r| {
+                (0..nfields)
+                    .map(|f| {
+                        // Deterministic per-partition variation ×[0.6, 1.67].
+                        let h = ((r * 31 + f * 17) % 13) as f64 / 13.0;
+                        let scale = 0.6 * (1.67f64 / 0.6).powf(h);
+                        let raw = (n_points * 4) as u64;
+                        let actual = ((raw as f64 / ratio) * scale) as u64;
+                        let pred = if accurate {
+                            (actual as f64 * 1.02) as u64
+                        } else {
+                            (actual as f64 * 0.7) as u64 // systematic under-prediction
+                        };
+                        let bits = actual as f64 * 8.0 / n_points as f64;
+                        let tm = ratiomodel::ThroughputModel::paper_reference();
+                        PartitionProfile {
+                            n_points,
+                            raw_bytes: raw,
+                            pred_bytes: pred,
+                            pred_ratio: raw as f64 / pred as f64,
+                            pred_comp_time: tm.compression_time(raw as f64, bits),
+                            pred_write_time: actual as f64 / 100e6,
+                            actual_bytes: actual,
+                            comp_time: tm.compression_time(raw as f64, bits),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn params() -> SimParams {
+        SimParams::new(BandwidthModel::summit()).with_policy(ExtraSpacePolicy::new(1.25))
+    }
+
+    #[test]
+    fn method_ranking_matches_paper() {
+        // At a mid compression ratio (~16×) on a congested system:
+        // no-comp slowest, filter+collective better, overlap better
+        // still, reorder best (Fig. 16 ordering).
+        let profiles = synth(512, 6, 16.0, true);
+        let rs = simulate_all(&profiles, &params());
+        let t = |m: Method| rs.iter().find(|r| r.method == m).unwrap().total_time;
+        assert!(t(Method::NoCompression) > t(Method::FilterCollective));
+        assert!(t(Method::FilterCollective) > t(Method::Overlap));
+        assert!(t(Method::Overlap) >= t(Method::OverlapReorder) * 0.999);
+    }
+
+    #[test]
+    fn speedups_in_plausible_range() {
+        let profiles = synth(512, 6, 16.0, true);
+        let rs = simulate_all(&profiles, &params());
+        let no = rs[0];
+        let best = rs[3];
+        let speedup = best.speedup_over(&no);
+        assert!(speedup > 2.0 && speedup < 20.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn accurate_predictions_no_overflow() {
+        let profiles = synth(16, 4, 16.0, true);
+        let r = simulate_method(Method::Overlap, &profiles, &params());
+        assert_eq!(r.n_overflow, 0);
+        assert_eq!(r.overflow_bytes, 0);
+        assert!(r.breakdown.overflow == 0.0);
+    }
+
+    #[test]
+    fn underprediction_causes_overflow_and_cost() {
+        let profiles = synth(16, 4, 16.0, false);
+        // With 0.7× under-prediction and 1.25 extra space, reservations
+        // are 0.875× of actual → every partition overflows.
+        let r = simulate_method(Method::Overlap, &profiles, &params());
+        // Most partitions overflow (those whose predicted ratio exceeds
+        // 32 get the Eq. 3 widened reserve and may still fit).
+        assert!(r.n_overflow > 16 * 4 / 2, "n_overflow {}", r.n_overflow);
+        assert!(r.overflow_bytes > 0);
+        assert!(r.breakdown.overflow > 0.0);
+        // Overflow costs time vs. the accurate case.
+        let acc = simulate_method(Method::Overlap, &synth(16, 4, 16.0, true), &params());
+        assert!(r.total_time > acc.total_time);
+    }
+
+    #[test]
+    fn storage_overhead_tracks_rspace() {
+        let profiles = synth(16, 4, 16.0, true);
+        let lo = simulate_method(
+            Method::Overlap,
+            &profiles,
+            &params().with_policy(ExtraSpacePolicy::new(1.1)),
+        );
+        let hi = simulate_method(
+            Method::Overlap,
+            &profiles,
+            &params().with_policy(ExtraSpacePolicy::new(1.43)),
+        );
+        assert!(hi.storage_overhead() > lo.storage_overhead());
+        // With accurate predictions, overhead ≈ rspace − 1 + prediction slack.
+        assert!((hi.storage_overhead() - 0.46).abs() < 0.1, "{}", hi.storage_overhead());
+    }
+
+    #[test]
+    fn reorder_gain_vanishes_at_extreme_ratios() {
+        // Fig. 17: at very high compression ratio (tiny writes) and at
+        // very low ratio (write-dominated), reordering gains little.
+        let p = params();
+        for ratio in [200.0, 1.3] {
+            let profiles = synth(32, 6, ratio, true);
+            let ov = simulate_method(Method::Overlap, &profiles, &p);
+            let re = simulate_method(Method::OverlapReorder, &profiles, &p);
+            let gain = ov.total_time / re.total_time;
+            assert!(gain < 1.15, "ratio {ratio}: gain {gain}");
+        }
+    }
+
+    #[test]
+    fn weak_scaling_stable() {
+        // Per-rank work constant; total time should not blow up with
+        // rank count beyond bandwidth contention effects.
+        let base = synth(32, 6, 16.0, true);
+        let p = params();
+        let t256 = simulate_method(
+            Method::OverlapReorder,
+            &crate::profile::replicate_profiles(&base, 256),
+            &p,
+        )
+        .total_time;
+        let t1024 = simulate_method(
+            Method::OverlapReorder,
+            &crate::profile::replicate_profiles(&base, 1024),
+            &p,
+        )
+        .total_time;
+        // 4× the ranks on a shared cap: at most ~5× the time.
+        assert!(t1024 < t256 * 6.0, "t256 {t256} t1024 {t1024}");
+        assert!(t1024 > t256, "more contention must not be faster");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let profiles = synth(16, 6, 16.0, false);
+        for m in Method::ALL {
+            let r = simulate_method(m, &profiles, &params());
+            assert!(
+                (r.breakdown.total() - r.total_time).abs() < 1e-6,
+                "{m:?}: {} vs {}",
+                r.breakdown.total(),
+                r.total_time
+            );
+        }
+    }
+}

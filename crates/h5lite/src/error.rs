@@ -1,0 +1,74 @@
+//! Error type for h5lite operations.
+
+use std::fmt;
+
+/// Errors from reading or writing an h5lite container.
+#[derive(Debug)]
+pub enum H5Error {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Bad magic number — not an h5lite file.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion(u8),
+    /// Stream ended early.
+    Truncated(&'static str),
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+    /// Dataset name not found.
+    NoSuchDataset(String),
+    /// Dataset already exists.
+    DuplicateDataset(String),
+    /// A filter id has no registered implementation.
+    UnknownFilter(u32),
+    /// Filter failed to encode/decode.
+    Filter(String),
+    /// Data length does not match dataset extents.
+    ShapeMismatch { expected: u64, actual: u64 },
+    /// Operation invalid in the file's current state.
+    InvalidState(&'static str),
+}
+
+impl fmt::Display for H5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H5Error::Io(e) => write!(f, "i/o error: {e}"),
+            H5Error::BadMagic => write!(f, "not an h5lite file"),
+            H5Error::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            H5Error::Truncated(s) => write!(f, "truncated while reading {s}"),
+            H5Error::Corrupt(s) => write!(f, "corrupt section: {s}"),
+            H5Error::NoSuchDataset(n) => write!(f, "no such dataset: {n}"),
+            H5Error::DuplicateDataset(n) => write!(f, "dataset already exists: {n}"),
+            H5Error::UnknownFilter(id) => write!(f, "unknown filter id {id}"),
+            H5Error::Filter(m) => write!(f, "filter error: {m}"),
+            H5Error::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} bytes, got {actual}")
+            }
+            H5Error::InvalidState(s) => write!(f, "invalid state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            H5Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for H5Error {
+    fn from(e: std::io::Error) -> Self {
+        H5Error::Io(e)
+    }
+}
+
+impl From<szlite::SzError> for H5Error {
+    fn from(e: szlite::SzError) -> Self {
+        H5Error::Filter(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, H5Error>;

@@ -1,0 +1,609 @@
+//! The h5lite container: writer and reader.
+//!
+//! A writer appends chunk data to a [`SharedFile`] and keeps dataset
+//! metadata in memory; `close()` serializes the metadata table to the
+//! end of the file and rewrites the superblock to point at it. Clones
+//! of a writer share state, so rank threads in a parallel write all
+//! hold the same file — mirroring parallel HDF5's shared-file model.
+
+use crate::chunk::{gather_tile, scatter_tile};
+use crate::error::{H5Error, Result};
+use crate::filter::FilterRegistry;
+use crate::meta::{
+    deserialize_table, serialize_table, AttrValue, ChunkInfo, DatasetMeta, Dtype, FilterSpec,
+};
+use parking_lot::Mutex;
+use pfsim::SharedFile;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// File magic "H5LT".
+pub const MAGIC: u32 = 0x544C3548;
+/// Format version.
+pub const VERSION: u8 = 1;
+/// Reserved superblock size at offset 0.
+pub const SUPERBLOCK: u64 = 32;
+
+/// Handle to a dataset within an open writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetId(usize);
+
+/// Specification for creating a dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Full path name.
+    pub name: String,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Logical extents.
+    pub dims: Vec<u64>,
+    /// Chunk extents (`None` = contiguous).
+    pub chunk_dims: Option<Vec<u64>>,
+    /// Filter pipeline.
+    pub filters: Vec<FilterSpec>,
+}
+
+impl DatasetSpec {
+    /// Contiguous unfiltered dataset.
+    pub fn new(name: impl Into<String>, dtype: Dtype, dims: &[u64]) -> Self {
+        DatasetSpec {
+            name: name.into(),
+            dtype,
+            dims: dims.to_vec(),
+            chunk_dims: None,
+            filters: Vec::new(),
+        }
+    }
+
+    /// Use a chunked layout.
+    pub fn chunked(mut self, chunk_dims: &[u64]) -> Self {
+        self.chunk_dims = Some(chunk_dims.to_vec());
+        self
+    }
+
+    /// Append a filter to the pipeline.
+    pub fn with_filter(mut self, spec: FilterSpec) -> Self {
+        self.filters.push(spec);
+        self
+    }
+}
+
+struct Inner {
+    file: SharedFile,
+    datasets: Mutex<Vec<DatasetMeta>>,
+    registry: FilterRegistry,
+    closed: AtomicBool,
+}
+
+/// Writable h5lite container (clone-shareable across rank threads).
+#[derive(Clone)]
+pub struct H5File {
+    inner: Arc<Inner>,
+}
+
+impl H5File {
+    /// Create a new container at `path` (truncates).
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let file = SharedFile::create(path)?;
+        file.write_at(0, &[0u8; SUPERBLOCK as usize])?;
+        file.advance_tail_to(SUPERBLOCK);
+        Ok(H5File {
+            inner: Arc::new(Inner {
+                file,
+                datasets: Mutex::new(Vec::new()),
+                registry: FilterRegistry::default(),
+                closed: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Wrap an existing [`SharedFile`] (already superblock-initialized
+    /// via `create`, or fresh: the superblock region is reserved).
+    pub fn from_shared(file: SharedFile) -> Result<Self> {
+        if file.tail() < SUPERBLOCK {
+            file.write_at(0, &[0u8; SUPERBLOCK as usize])?;
+            file.advance_tail_to(SUPERBLOCK);
+        }
+        Ok(H5File {
+            inner: Arc::new(Inner {
+                file,
+                datasets: Mutex::new(Vec::new()),
+                registry: FilterRegistry::default(),
+                closed: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Underlying shared file.
+    pub fn shared_file(&self) -> &SharedFile {
+        &self.inner.file
+    }
+
+    /// Filter registry used on the write path.
+    pub fn registry(&self) -> &FilterRegistry {
+        &self.inner.registry
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.inner.closed.load(Ordering::SeqCst) {
+            Err(H5Error::InvalidState("file already closed"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Create a dataset; returns its handle.
+    pub fn create_dataset(&self, spec: DatasetSpec) -> Result<DatasetId> {
+        self.check_open()?;
+        if spec.dims.is_empty() || spec.dims.len() > 3 {
+            return Err(H5Error::Corrupt("dataset rank must be 1..=3"));
+        }
+        if let Some(cd) = &spec.chunk_dims {
+            if cd.len() != spec.dims.len() || cd.contains(&0) {
+                return Err(H5Error::Corrupt("chunk dims"));
+            }
+        }
+        let mut ds = self.inner.datasets.lock();
+        if ds.iter().any(|d| d.name == spec.name) {
+            return Err(H5Error::DuplicateDataset(spec.name));
+        }
+        ds.push(DatasetMeta {
+            name: spec.name,
+            dtype: spec.dtype,
+            dims: spec.dims,
+            chunk_dims: spec.chunk_dims,
+            filters: spec.filters,
+            chunks: Vec::new(),
+            attrs: Vec::new(),
+        });
+        Ok(DatasetId(ds.len() - 1))
+    }
+
+    /// Attach an attribute to a dataset.
+    pub fn set_attr(&self, id: DatasetId, name: impl Into<String>, value: AttrValue) -> Result<()> {
+        self.check_open()?;
+        let mut ds = self.inner.datasets.lock();
+        let d = ds.get_mut(id.0).ok_or(H5Error::Corrupt("dataset id"))?;
+        let name = name.into();
+        if let Some(slot) = d.attrs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            d.attrs.push((name, value));
+        }
+        Ok(())
+    }
+
+    /// Write a full dataset serially: tile into chunks, run the filter
+    /// pipeline, append each chunk, record its location.
+    pub fn write_full(&self, id: DatasetId, data: &[u8]) -> Result<()> {
+        self.check_open()?;
+        let (dims, chunk_dims, filters, elem, expected) = {
+            let ds = self.inner.datasets.lock();
+            let d = ds.get(id.0).ok_or(H5Error::Corrupt("dataset id"))?;
+            (
+                d.dims.clone(),
+                d.chunk_dims.clone(),
+                d.filters.clone(),
+                d.dtype.size(),
+                d.raw_bytes(),
+            )
+        };
+        if data.len() as u64 != expected {
+            return Err(H5Error::ShapeMismatch { expected, actual: data.len() as u64 });
+        }
+        match chunk_dims {
+            None => {
+                let stored = self.inner.registry.apply(&filters, data.to_vec())?;
+                let offset = self.inner.file.reserve(stored.len() as u64);
+                self.inner.file.write_at(offset, &stored)?;
+                self.record_chunk(
+                    id,
+                    ChunkInfo {
+                        index: 0,
+                        offset,
+                        stored: stored.len() as u64,
+                        raw: data.len() as u64,
+                    },
+                )?;
+            }
+            Some(cd) => {
+                let n_chunks: u64 = dims
+                    .iter()
+                    .zip(&cd)
+                    .map(|(&d, &c)| d.div_ceil(c))
+                    .product();
+                for c in 0..n_chunks {
+                    let tile = gather_tile(data, &dims, elem, &cd, c)?;
+                    let raw = tile.len() as u64;
+                    let stored = self.inner.registry.apply(&filters, tile)?;
+                    let offset = self.inner.file.reserve(stored.len() as u64);
+                    self.inner.file.write_at(offset, &stored)?;
+                    self.record_chunk(
+                        id,
+                        ChunkInfo { index: c, offset, stored: stored.len() as u64, raw },
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Write pre-filtered chunk bytes at an explicit offset and record
+    /// the chunk — the parallel-write path, where offsets were computed
+    /// collectively beforehand (the paper's pre-computed layout).
+    pub fn write_chunk_at(
+        &self,
+        id: DatasetId,
+        chunk_index: u64,
+        offset: u64,
+        stored: &[u8],
+        raw_len: u64,
+    ) -> Result<()> {
+        self.check_open()?;
+        self.inner.file.write_at(offset, stored)?;
+        self.record_chunk(
+            id,
+            ChunkInfo { index: chunk_index, offset, stored: stored.len() as u64, raw: raw_len },
+        )
+    }
+
+    /// Record a chunk that was written externally (e.g. via async ops).
+    pub fn record_chunk(&self, id: DatasetId, info: ChunkInfo) -> Result<()> {
+        let mut ds = self.inner.datasets.lock();
+        let d = ds.get_mut(id.0).ok_or(H5Error::Corrupt("dataset id"))?;
+        d.chunks.push(info);
+        Ok(())
+    }
+
+    /// Reserve `len` bytes of file space, returning the offset.
+    pub fn reserve(&self, len: u64) -> u64 {
+        self.inner.file.reserve(len)
+    }
+
+    /// Total bytes currently reserved/written (logical tail).
+    pub fn tail(&self) -> u64 {
+        self.inner.file.tail()
+    }
+
+    /// Finalize: write the metadata table and superblock. Idempotent —
+    /// the second close is an error (like H5Fclose on a closed id).
+    pub fn close(&self) -> Result<()> {
+        if self.inner.closed.swap(true, Ordering::SeqCst) {
+            return Err(H5Error::InvalidState("file already closed"));
+        }
+        let table = {
+            let mut ds = self.inner.datasets.lock();
+            for d in ds.iter_mut() {
+                d.chunks.sort_by_key(|c| c.index);
+            }
+            serialize_table(&ds)
+        };
+        let table_offset = self.inner.file.reserve(table.len() as u64);
+        self.inner.file.write_at(table_offset, &table)?;
+        let mut sb = Vec::with_capacity(SUPERBLOCK as usize);
+        sb.extend_from_slice(&MAGIC.to_le_bytes());
+        sb.push(VERSION);
+        sb.extend_from_slice(&[0u8; 3]);
+        sb.extend_from_slice(&table_offset.to_le_bytes());
+        sb.extend_from_slice(&(table.len() as u64).to_le_bytes());
+        sb.resize(SUPERBLOCK as usize, 0);
+        self.inner.file.write_at(0, &sb)?;
+        self.inner.file.sync()?;
+        Ok(())
+    }
+}
+
+/// Read-only h5lite container.
+pub struct H5Reader {
+    file: SharedFile,
+    datasets: Vec<DatasetMeta>,
+    registry: FilterRegistry,
+}
+
+impl H5Reader {
+    /// Open and parse the container at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = SharedFile::open(path)?;
+        let mut sb = [0u8; SUPERBLOCK as usize];
+        file.read_at(0, &mut sb).map_err(|_| H5Error::Truncated("superblock"))?;
+        let magic = u32::from_le_bytes(sb[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(H5Error::BadMagic);
+        }
+        let version = sb[4];
+        if version != VERSION {
+            return Err(H5Error::UnsupportedVersion(version));
+        }
+        let table_offset = u64::from_le_bytes(sb[8..16].try_into().unwrap());
+        let table_len = u64::from_le_bytes(sb[16..24].try_into().unwrap());
+        let flen = file.len()?;
+        if table_offset + table_len > flen {
+            return Err(H5Error::Truncated("metadata table"));
+        }
+        let mut table = vec![0u8; table_len as usize];
+        file.read_at(table_offset, &mut table)?;
+        let datasets = deserialize_table(&table)?;
+        Ok(H5Reader { file, datasets, registry: FilterRegistry::default() })
+    }
+
+    /// Dataset names in creation order.
+    pub fn names(&self) -> Vec<&str> {
+        self.datasets.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// Metadata of a dataset.
+    pub fn meta(&self, name: &str) -> Result<&DatasetMeta> {
+        self.datasets
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| H5Error::NoSuchDataset(name.to_string()))
+    }
+
+    /// Read and de-filter a full dataset into its raw byte buffer.
+    pub fn read_raw(&self, name: &str) -> Result<Vec<u8>> {
+        let d = self.meta(name)?;
+        let elem = d.dtype.size();
+        let mut out = vec![0u8; d.raw_bytes() as usize];
+        match &d.chunk_dims {
+            None => {
+                let c = d.chunks.first().ok_or(H5Error::Corrupt("missing chunk"))?;
+                let mut stored = vec![0u8; c.stored as usize];
+                self.file.read_at(c.offset, &mut stored)?;
+                let raw = self.registry.invert(&d.filters, stored)?;
+                if raw.len() != out.len() {
+                    return Err(H5Error::ShapeMismatch {
+                        expected: out.len() as u64,
+                        actual: raw.len() as u64,
+                    });
+                }
+                out.copy_from_slice(&raw);
+            }
+            Some(cd) => {
+                // A chunk may be stored as several extents with the
+                // same index (reserved-slot prefix + overflow tail, the
+                // paper's overflow redirection); concatenate in record
+                // order before de-filtering.
+                let mut by_index: std::collections::BTreeMap<u64, Vec<u8>> =
+                    std::collections::BTreeMap::new();
+                for c in &d.chunks {
+                    let mut stored = vec![0u8; c.stored as usize];
+                    self.file.read_at(c.offset, &mut stored)?;
+                    by_index.entry(c.index).or_default().extend_from_slice(&stored);
+                }
+                if by_index.len() as u64 != d.n_chunks() {
+                    return Err(H5Error::Corrupt("incomplete chunk set"));
+                }
+                for (index, stored) in by_index {
+                    let raw = self.registry.invert(&d.filters, stored)?;
+                    scatter_tile(&mut out, &d.dims, elem, cd, index, &raw)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read a dataset as `f32` values.
+    pub fn read_f32(&self, name: &str) -> Result<Vec<f32>> {
+        let d = self.meta(name)?;
+        if d.dtype != Dtype::F32 {
+            return Err(H5Error::Corrupt("dataset is not f32"));
+        }
+        let raw = self.read_raw(name)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a dataset as `f64` values.
+    pub fn read_f64(&self, name: &str) -> Result<Vec<f64>> {
+        let d = self.meta(name)?;
+        if d.dtype != Dtype::F64 {
+            return Err(H5Error::Corrupt("dataset is not f64"));
+        }
+        let raw = self.read_raw(name)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{SzFilterParams, LZSS_FILTER_ID, SZLITE_FILTER_ID};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("h5lite-test-{}-{}.h5l", std::process::id(), name));
+        p
+    }
+
+    fn f32_bytes(v: &[f32]) -> Vec<u8> {
+        v.iter().flat_map(|f| f.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn contiguous_roundtrip() {
+        let path = tmp("contig");
+        let f = H5File::create(&path).unwrap();
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let id = f
+            .create_dataset(DatasetSpec::new("a", Dtype::F32, &[100]))
+            .unwrap();
+        f.write_full(id, &f32_bytes(&data)).unwrap();
+        f.close().unwrap();
+
+        let r = H5Reader::open(&path).unwrap();
+        assert_eq!(r.names(), vec!["a"]);
+        assert_eq!(r.read_f32("a").unwrap(), data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chunked_roundtrip_3d() {
+        let path = tmp("chunk3d");
+        let f = H5File::create(&path).unwrap();
+        let data: Vec<f32> = (0..4 * 6 * 8).map(|i| (i as f32).sin()).collect();
+        let id = f
+            .create_dataset(
+                DatasetSpec::new("grid/v", Dtype::F32, &[4, 6, 8]).chunked(&[2, 3, 4]),
+            )
+            .unwrap();
+        f.write_full(id, &f32_bytes(&data)).unwrap();
+        f.close().unwrap();
+
+        let r = H5Reader::open(&path).unwrap();
+        assert_eq!(r.meta("grid/v").unwrap().chunks.len(), 8);
+        assert_eq!(r.read_f32("grid/v").unwrap(), data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sz_filtered_roundtrip_within_bound() {
+        let path = tmp("szfilt");
+        let f = H5File::create(&path).unwrap();
+        let data: Vec<f32> = (0..16 * 16 * 16).map(|i| (i as f32 * 0.01).cos()).collect();
+        let params =
+            SzFilterParams { absolute: true, bound: 1e-3, dims: vec![8, 16, 16] }.to_bytes();
+        let id = f
+            .create_dataset(
+                DatasetSpec::new("t", Dtype::F32, &[16, 16, 16])
+                    .chunked(&[8, 16, 16])
+                    .with_filter(FilterSpec { id: SZLITE_FILTER_ID, params }),
+            )
+            .unwrap();
+        f.write_full(id, &f32_bytes(&data)).unwrap();
+        f.close().unwrap();
+
+        let r = H5Reader::open(&path).unwrap();
+        let meta = r.meta("t").unwrap();
+        assert!(meta.stored_bytes() < meta.raw_bytes(), "filter should shrink data");
+        let restored = r.read_f32("t").unwrap();
+        for (a, b) in data.iter().zip(&restored) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn attributes_roundtrip() {
+        let path = tmp("attrs");
+        let f = H5File::create(&path).unwrap();
+        let id = f.create_dataset(DatasetSpec::new("x", Dtype::U8, &[4])).unwrap();
+        f.write_full(id, &[1, 2, 3, 4]).unwrap();
+        f.set_attr(id, "eb", AttrValue::F64(0.5)).unwrap();
+        f.set_attr(id, "step", AttrValue::I64(7)).unwrap();
+        f.set_attr(id, "step", AttrValue::I64(8)).unwrap(); // overwrite
+        f.close().unwrap();
+
+        let r = H5Reader::open(&path).unwrap();
+        let m = r.meta("x").unwrap();
+        assert_eq!(m.attr("eb"), Some(&AttrValue::F64(0.5)));
+        assert_eq!(m.attr("step"), Some(&AttrValue::I64(8)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_dataset_rejected() {
+        let path = tmp("dup");
+        let f = H5File::create(&path).unwrap();
+        f.create_dataset(DatasetSpec::new("a", Dtype::U8, &[1])).unwrap();
+        assert!(matches!(
+            f.create_dataset(DatasetSpec::new("a", Dtype::U8, &[1])),
+            Err(H5Error::DuplicateDataset(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn double_close_rejected() {
+        let path = tmp("dclose");
+        let f = H5File::create(&path).unwrap();
+        f.close().unwrap();
+        assert!(f.close().is_err());
+        assert!(f.create_dataset(DatasetSpec::new("a", Dtype::U8, &[1])).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parallel_chunk_writes_from_threads() {
+        let path = tmp("par");
+        let f = H5File::create(&path).unwrap();
+        let n_chunks = 8u64;
+        let chunk_elems = 64u64;
+        let id = f
+            .create_dataset(
+                DatasetSpec::new("p", Dtype::F32, &[n_chunks * chunk_elems])
+                    .chunked(&[chunk_elems]),
+            )
+            .unwrap();
+        // Pre-compute offsets like the paper's planner would.
+        let chunk_bytes = chunk_elems * 4;
+        let base = f.reserve(n_chunks * chunk_bytes);
+        std::thread::scope(|s| {
+            for c in 0..n_chunks {
+                let f = f.clone();
+                s.spawn(move || {
+                    let vals: Vec<f32> =
+                        (0..chunk_elems).map(|i| (c * 1000 + i) as f32).collect();
+                    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+                    f.write_chunk_at(id, c, base + c * chunk_bytes, &bytes, chunk_bytes)
+                        .unwrap();
+                });
+            }
+        });
+        f.close().unwrap();
+
+        let r = H5Reader::open(&path).unwrap();
+        let vals = r.read_f32("p").unwrap();
+        for c in 0..n_chunks {
+            for i in 0..chunk_elems {
+                assert_eq!(vals[(c * chunk_elems + i) as usize], (c * 1000 + i) as f32);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lzss_filter_chain() {
+        let path = tmp("lz");
+        let f = H5File::create(&path).unwrap();
+        let data = vec![42u8; 8192];
+        let id = f
+            .create_dataset(
+                DatasetSpec::new("z", Dtype::U8, &[8192])
+                    .with_filter(FilterSpec { id: LZSS_FILTER_ID, params: vec![] }),
+            )
+            .unwrap();
+        f.write_full(id, &data).unwrap();
+        f.close().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert!(r.meta("z").unwrap().stored_bytes() < 200);
+        assert_eq!(r.read_raw("z").unwrap(), data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_garbage_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not an h5lite file, but long enough....").unwrap();
+        assert!(matches!(H5Reader::open(&path), Err(H5Error::BadMagic)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shape_mismatch_on_write() {
+        let path = tmp("shape");
+        let f = H5File::create(&path).unwrap();
+        let id = f.create_dataset(DatasetSpec::new("s", Dtype::F32, &[10])).unwrap();
+        assert!(matches!(
+            f.write_full(id, &[0u8; 10]),
+            Err(H5Error::ShapeMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

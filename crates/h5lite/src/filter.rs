@@ -1,0 +1,314 @@
+//! H5Z-like dynamically registered filter pipeline.
+//!
+//! HDF5 compresses chunks through a chain of registered filters; the
+//! paper's baseline is the H5Z-SZ filter (id 32017). We register an
+//! szlite-backed equivalent under the same id, plus the classic
+//! shuffle and an LZSS "deflate-like" filter, and apply chains in
+//! declaration order on write / reverse order on read.
+
+use crate::error::{H5Error, Result};
+use crate::meta::FilterSpec;
+use std::collections::HashMap;
+use std::sync::Arc;
+use szlite::stream::{get_f64, get_varint, put_f64, put_varint};
+use szlite::{Config, Dims, ErrorBound};
+
+/// Filter id used by H5Z-SZ (kept for fidelity).
+pub const SZLITE_FILTER_ID: u32 = 32017;
+/// Byte-shuffle filter id (HDF5's builtin shuffle is 2).
+pub const SHUFFLE_FILTER_ID: u32 = 2;
+/// LZSS lossless filter id (stand-in for deflate, HDF5 id 1).
+pub const LZSS_FILTER_ID: u32 = 1;
+
+/// A chunk filter: bytes → bytes, invertible.
+pub trait Filter: Send + Sync {
+    /// Registered id.
+    fn id(&self) -> u32;
+    /// Forward (compress/transform) pass.
+    fn encode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>>;
+    /// Inverse pass.
+    fn decode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// Parameters of the szlite filter, stored in [`FilterSpec::params`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SzFilterParams {
+    /// Absolute error bound (`true`) or value-range relative (`false`).
+    pub absolute: bool,
+    /// Bound value.
+    pub bound: f64,
+    /// Chunk extents the filter interprets the byte stream as.
+    pub dims: Vec<usize>,
+}
+
+impl SzFilterParams {
+    /// Encode to the opaque parameter bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(u8::from(self.absolute));
+        put_f64(&mut out, self.bound);
+        put_varint(&mut out, self.dims.len() as u64);
+        for &d in &self.dims {
+            put_varint(&mut out, d as u64);
+        }
+        out
+    }
+
+    /// Decode from parameter bytes.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let absolute = match buf.first() {
+            Some(0) => false,
+            Some(1) => true,
+            _ => return Err(H5Error::Corrupt("sz filter flag")),
+        };
+        pos += 1;
+        let bound = get_f64(buf, &mut pos).map_err(|_| H5Error::Truncated("sz bound"))?;
+        let nd = get_varint(buf, &mut pos).map_err(|_| H5Error::Truncated("sz rank"))? as usize;
+        if nd == 0 || nd > 3 {
+            return Err(H5Error::Corrupt("sz rank"));
+        }
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(
+                get_varint(buf, &mut pos).map_err(|_| H5Error::Truncated("sz dims"))? as usize,
+            );
+        }
+        Ok(SzFilterParams { absolute, bound, dims })
+    }
+
+    fn config(&self) -> Config {
+        Config {
+            error_bound: if self.absolute {
+                ErrorBound::Abs(self.bound)
+            } else {
+                ErrorBound::Rel(self.bound)
+            },
+            ..Config::default()
+        }
+    }
+}
+
+/// The szlite lossy filter (H5Z-SZ analog, f32 chunks).
+pub struct SzliteFilter;
+
+impl Filter for SzliteFilter {
+    fn id(&self) -> u32 {
+        SZLITE_FILTER_ID
+    }
+
+    fn encode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
+        let p = SzFilterParams::from_bytes(params)?;
+        if !data.len().is_multiple_of(4) {
+            return Err(H5Error::Filter("sz filter requires f32 data".into()));
+        }
+        let floats: Vec<f32> = data
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        let dims = Dims::from_slice(&p.dims)?;
+        Ok(szlite::compress_f32(&floats, &dims, &p.config())?)
+    }
+
+    fn decode(&self, data: &[u8], _params: &[u8]) -> Result<Vec<u8>> {
+        let (floats, _) = szlite::decompress_f32(data)?;
+        let mut out = Vec::with_capacity(floats.len() * 4);
+        for f in floats {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Ok(out)
+    }
+}
+
+/// Byte-shuffle filter: groups the i-th byte of every element together
+/// (improves downstream lossless compression of floats).
+pub struct ShuffleFilter;
+
+impl ShuffleFilter {
+    fn elem_size(params: &[u8]) -> Result<usize> {
+        match params.first() {
+            Some(&s) if s > 0 && usize::from(s) <= 16 => Ok(usize::from(s)),
+            _ => Err(H5Error::Corrupt("shuffle element size")),
+        }
+    }
+}
+
+impl Filter for ShuffleFilter {
+    fn id(&self) -> u32 {
+        SHUFFLE_FILTER_ID
+    }
+
+    fn encode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
+        let es = Self::elem_size(params)?;
+        if !data.len().is_multiple_of(es) {
+            return Err(H5Error::Filter("shuffle: length not multiple of element".into()));
+        }
+        let n = data.len() / es;
+        let mut out = vec![0u8; data.len()];
+        for i in 0..n {
+            for b in 0..es {
+                out[b * n + i] = data[i * es + b];
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
+        let es = Self::elem_size(params)?;
+        if !data.len().is_multiple_of(es) {
+            return Err(H5Error::Filter("shuffle: length not multiple of element".into()));
+        }
+        let n = data.len() / es;
+        let mut out = vec![0u8; data.len()];
+        for i in 0..n {
+            for b in 0..es {
+                out[i * es + b] = data[b * n + i];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// LZSS lossless filter.
+pub struct LzssFilter;
+
+impl Filter for LzssFilter {
+    fn id(&self) -> u32 {
+        LZSS_FILTER_ID
+    }
+
+    fn encode(&self, data: &[u8], _params: &[u8]) -> Result<Vec<u8>> {
+        Ok(szlite::lossless::compress(data))
+    }
+
+    fn decode(&self, data: &[u8], _params: &[u8]) -> Result<Vec<u8>> {
+        Ok(szlite::lossless::decompress(data)?)
+    }
+}
+
+/// Registry of filter implementations by id.
+#[derive(Clone)]
+pub struct FilterRegistry {
+    filters: HashMap<u32, Arc<dyn Filter>>,
+}
+
+impl Default for FilterRegistry {
+    fn default() -> Self {
+        let mut r = FilterRegistry { filters: HashMap::new() };
+        r.register(Arc::new(SzliteFilter));
+        r.register(Arc::new(ShuffleFilter));
+        r.register(Arc::new(LzssFilter));
+        r
+    }
+}
+
+impl FilterRegistry {
+    /// Register (or replace) a filter implementation.
+    pub fn register(&mut self, f: Arc<dyn Filter>) {
+        self.filters.insert(f.id(), f);
+    }
+
+    /// Look up a filter by id.
+    pub fn get(&self, id: u32) -> Result<&Arc<dyn Filter>> {
+        self.filters.get(&id).ok_or(H5Error::UnknownFilter(id))
+    }
+
+    /// Apply a pipeline in declaration order (write path).
+    pub fn apply(&self, specs: &[FilterSpec], data: Vec<u8>) -> Result<Vec<u8>> {
+        let mut cur = data;
+        for s in specs {
+            cur = self.get(s.id)?.encode(&cur, &s.params)?;
+        }
+        Ok(cur)
+    }
+
+    /// Invert a pipeline in reverse order (read path).
+    pub fn invert(&self, specs: &[FilterSpec], data: Vec<u8>) -> Result<Vec<u8>> {
+        let mut cur = data;
+        for s in specs.iter().rev() {
+            cur = self.get(s.id)?.decode(&cur, &s.params)?;
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32s_to_bytes(v: &[f32]) -> Vec<u8> {
+        v.iter().flat_map(|f| f.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn sz_params_roundtrip() {
+        let p = SzFilterParams { absolute: true, bound: 1e-3, dims: vec![4, 5, 6] };
+        assert_eq!(SzFilterParams::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn sz_filter_roundtrip_within_bound() {
+        let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+        let bytes = f32s_to_bytes(&data);
+        let params =
+            SzFilterParams { absolute: true, bound: 1e-3, dims: vec![16, 16, 16] }.to_bytes();
+        let f = SzliteFilter;
+        let enc = f.encode(&bytes, &params).unwrap();
+        assert!(enc.len() < bytes.len());
+        let dec = f.decode(&enc, &params).unwrap();
+        assert_eq!(dec.len(), bytes.len());
+        for (a, b) in bytes.chunks_exact(4).zip(dec.chunks_exact(4)) {
+            let x = f32::from_le_bytes(a.try_into().unwrap());
+            let y = f32::from_le_bytes(b.try_into().unwrap());
+            assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn shuffle_roundtrip() {
+        let data: Vec<u8> = (0..64).collect();
+        let f = ShuffleFilter;
+        let enc = f.encode(&data, &[4]).unwrap();
+        assert_ne!(enc, data);
+        assert_eq!(f.decode(&enc, &[4]).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_filter_roundtrip() {
+        let data = vec![7u8; 10_000];
+        let f = LzssFilter;
+        let enc = f.encode(&data, &[]).unwrap();
+        assert!(enc.len() < 200);
+        assert_eq!(f.decode(&enc, &[]).unwrap(), data);
+    }
+
+    #[test]
+    fn pipeline_order_and_inverse() {
+        let reg = FilterRegistry::default();
+        let data: Vec<u8> = (0..255u8).cycle().take(4096).collect();
+        let specs = vec![
+            FilterSpec { id: SHUFFLE_FILTER_ID, params: vec![4] },
+            FilterSpec { id: LZSS_FILTER_ID, params: vec![] },
+        ];
+        let enc = reg.apply(&specs, data.clone()).unwrap();
+        let dec = reg.invert(&specs, enc).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn unknown_filter_rejected() {
+        let reg = FilterRegistry::default();
+        let specs = vec![FilterSpec { id: 999, params: vec![] }];
+        assert!(matches!(
+            reg.apply(&specs, vec![1, 2, 3]),
+            Err(H5Error::UnknownFilter(999))
+        ));
+    }
+
+    #[test]
+    fn sz_filter_rejects_unaligned() {
+        let f = SzliteFilter;
+        let params = SzFilterParams { absolute: true, bound: 0.1, dims: vec![3] }.to_bytes();
+        assert!(f.encode(&[1, 2, 3], &params).is_err());
+    }
+}

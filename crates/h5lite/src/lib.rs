@@ -1,0 +1,38 @@
+//! # h5lite — a simplified HDF5-like hierarchical container
+//!
+//! The paper deeply integrates predictive compression with HDF5 1.13
+//! (chunked datasets, the H5Z filter pipeline, and the asynchronous
+//! VOL). No complete Rust HDF5 stack exists, so this crate implements
+//! the subset the system needs, with the same structural roles:
+//!
+//! * a **self-describing file format** (superblock → chunk data →
+//!   metadata table), path-named datasets, attributes ([`meta`],
+//!   [`mod@file`]);
+//! * **contiguous and chunked layouts** with tile gather/scatter on
+//!   read/write ([`chunk`]);
+//! * an **H5Z-like filter pipeline** with the szlite lossy filter
+//!   registered under H5Z-SZ's id 32017, plus shuffle and LZSS
+//!   ([`filter`]);
+//! * **event-set asynchronous writes** on background threads — the
+//!   async-VOL capability the paper's overlap design builds on
+//!   ([`asyncq`]);
+//! * **parallel shared-file writes** at pre-computed offsets via
+//!   [`H5File::write_chunk_at`] from many rank threads.
+//!
+//! Files round-trip: anything written can be re-opened with
+//! [`H5Reader`] and decoded back through the inverse filter chain.
+
+pub mod asyncq;
+pub mod chunk;
+pub mod error;
+pub mod file;
+pub mod filter;
+pub mod meta;
+
+pub use asyncq::EventSet;
+pub use error::{H5Error, Result};
+pub use file::{DatasetId, DatasetSpec, H5File, H5Reader, MAGIC, SUPERBLOCK, VERSION};
+pub use filter::{
+    Filter, FilterRegistry, SzFilterParams, LZSS_FILTER_ID, SHUFFLE_FILTER_ID, SZLITE_FILTER_ID,
+};
+pub use meta::{AttrValue, ChunkInfo, DatasetMeta, Dtype, FilterSpec};

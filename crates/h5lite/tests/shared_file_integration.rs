@@ -1,0 +1,114 @@
+//! Integration of H5File with an externally managed SharedFile, plus
+//! async event-set writes feeding recorded chunks — the exact
+//! composition the predictive write engine uses.
+
+use h5lite::{DatasetSpec, Dtype, EventSet, H5File, H5Reader};
+use pfsim::SharedFile;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("h5lite-int-{}-{}.h5l", std::process::id(), name))
+}
+
+#[test]
+fn from_shared_wraps_fresh_file() {
+    let path = tmp("fresh");
+    let shared = SharedFile::create(&path).unwrap();
+    let file = H5File::from_shared(shared).unwrap();
+    assert!(file.tail() >= h5lite::SUPERBLOCK);
+    let id = file
+        .create_dataset(DatasetSpec::new("x", Dtype::U8, &[3]))
+        .unwrap();
+    file.write_full(id, &[7, 8, 9]).unwrap();
+    file.close().unwrap();
+    let r = H5Reader::open(&path).unwrap();
+    assert_eq!(r.read_raw("x").unwrap(), vec![7, 8, 9]);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn async_chunk_writes_then_close() {
+    // Chunks written via the event set at pre-reserved offsets, with
+    // chunk records added as each write is enqueued (the overlap
+    // engine's pattern), must produce a valid readable file.
+    let path = tmp("async");
+    let file = H5File::create(&path).unwrap();
+    let n_chunks = 4u64;
+    let chunk_elems = 32u64;
+    let id = file
+        .create_dataset(
+            DatasetSpec::new("d", Dtype::F32, &[n_chunks * chunk_elems])
+                .chunked(&[chunk_elems]),
+        )
+        .unwrap();
+    let es = EventSet::new(2);
+    let chunk_bytes = chunk_elems * 4;
+    let base = file.reserve(n_chunks * chunk_bytes);
+    for c in 0..n_chunks {
+        let vals: Vec<f32> = (0..chunk_elems).map(|i| (c * 100 + i) as f32).collect();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        es.write_at(file.shared_file(), base + c * chunk_bytes, bytes, None);
+        file.record_chunk(
+            id,
+            h5lite::ChunkInfo {
+                index: c,
+                offset: base + c * chunk_bytes,
+                stored: chunk_bytes,
+                raw: chunk_bytes,
+            },
+        )
+        .unwrap();
+    }
+    es.wait().unwrap();
+    file.close().unwrap();
+
+    let r = H5Reader::open(&path).unwrap();
+    let vals = r.read_f32("d").unwrap();
+    for c in 0..n_chunks {
+        for i in 0..chunk_elems {
+            assert_eq!(vals[(c * chunk_elems + i) as usize], (c * 100 + i) as f32);
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn reader_rejects_incomplete_chunk_set() {
+    let path = tmp("incomplete");
+    let file = H5File::create(&path).unwrap();
+    let id = file
+        .create_dataset(DatasetSpec::new("d", Dtype::U8, &[8]).chunked(&[4]))
+        .unwrap();
+    // Record only one of the two chunks.
+    let off = file.reserve(4);
+    file.shared_file().write_at(off, &[1, 2, 3, 4]).unwrap();
+    file.record_chunk(id, h5lite::ChunkInfo { index: 0, offset: off, stored: 4, raw: 4 })
+        .unwrap();
+    file.close().unwrap();
+    let r = H5Reader::open(&path).unwrap();
+    assert!(r.read_raw("d").is_err());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn two_extent_chunk_concatenates_in_order() {
+    // The overflow layout: one chunk stored as an in-slot prefix plus
+    // an appended tail; the reader must concatenate in record order.
+    let path = tmp("twoextent");
+    let file = H5File::create(&path).unwrap();
+    let id = file
+        .create_dataset(DatasetSpec::new("d", Dtype::U8, &[6]).chunked(&[6]))
+        .unwrap();
+    let a = file.reserve(4);
+    file.shared_file().write_at(a, &[10, 11, 12, 13]).unwrap();
+    file.record_chunk(id, h5lite::ChunkInfo { index: 0, offset: a, stored: 4, raw: 6 })
+        .unwrap();
+    let b = file.reserve(2);
+    file.shared_file().write_at(b, &[14, 15]).unwrap();
+    file.record_chunk(id, h5lite::ChunkInfo { index: 0, offset: b, stored: 2, raw: 0 })
+        .unwrap();
+    file.close().unwrap();
+    let r = H5Reader::open(&path).unwrap();
+    assert_eq!(r.read_raw("d").unwrap(), vec![10, 11, 12, 13, 14, 15]);
+    std::fs::remove_file(&path).unwrap();
+}

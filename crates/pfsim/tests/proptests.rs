@@ -1,0 +1,89 @@
+//! Property tests for the discrete-event I/O engine and the bandwidth
+//! model.
+
+use pfsim::{simulate, simulate_concurrent_writes, BandwidthModel, PipelineTask, RankPipeline};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = BandwidthModel> {
+    (
+        (1e6f64..1e9),   // per_proc_peak
+        (1e4f64..1e7),   // half_size
+        (1e6f64..1e10),  // aggregate_cap
+        (0.0f64..1e-2),  // latency
+    )
+        .prop_map(|(p, h, c, l)| BandwidthModel {
+            per_proc_peak: p,
+            half_size: h,
+            aggregate_cap: c,
+            latency: l,
+            collective_overhead: 1e-3,
+            collective_factor: 0.5,
+        })
+}
+
+fn arb_pipelines() -> impl Strategy<Value = Vec<RankPipeline>> {
+    proptest::collection::vec(
+        (
+            (0.0f64..2.0),
+            proptest::collection::vec(((0.0f64..1.0), (0.0f64..50e6)), 0..5),
+        )
+            .prop_map(|(release, tasks)| RankPipeline {
+                release,
+                tasks: tasks
+                    .into_iter()
+                    .map(|(compute, write_bytes)| PipelineTask { compute, write_bytes })
+                    .collect(),
+            }),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn simulation_terminates_with_causal_times(ranks in arb_pipelines(), model in arb_model()) {
+        let out = simulate(&ranks, &model);
+        prop_assert!(out.makespan.is_finite());
+        for (r, rp) in ranks.iter().enumerate() {
+            let mut prev_compute = rp.release;
+            let mut prev_write = rp.release;
+            for (t, task) in rp.tasks.iter().enumerate() {
+                let tt = out.tasks[r][t];
+                // Compute is serial per rank.
+                prop_assert!(tt.compute_done >= prev_compute + task.compute - 1e-9);
+                // Writes are serial per rank and follow their compute.
+                prop_assert!(tt.write_done >= tt.compute_done - 1e-9);
+                prop_assert!(tt.write_done >= prev_write - 1e-9);
+                prev_compute = tt.compute_done;
+                prev_write = tt.write_done;
+            }
+            prop_assert!(out.rank_finish[r] <= out.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn write_time_at_least_bandwidth_bound(sizes in proptest::collection::vec(1e3f64..100e6, 1..8), model in arb_model()) {
+        let (times, makespan) = simulate_concurrent_writes(&sizes, &model);
+        let total: f64 = sizes.iter().sum();
+        // The aggregate cap is a hard lower bound on the round time.
+        prop_assert!(makespan + 1e-9 >= total / model.aggregate_cap);
+        // Each write takes at least its own uncontended time.
+        for (s, t) in sizes.iter().zip(&times) {
+            prop_assert!(*t + 1e-9 >= model.latency + s / model.per_proc_throughput(*s));
+        }
+    }
+
+    #[test]
+    fn more_writers_never_faster(size in 1e5f64..50e6, n in 1usize..6, model in arb_model()) {
+        let (_, small) = simulate_concurrent_writes(&vec![size; n], &model);
+        let (_, big) = simulate_concurrent_writes(&vec![size; n * 2], &model);
+        prop_assert!(big + 1e-9 >= small);
+    }
+
+    #[test]
+    fn per_proc_throughput_monotone(model in arb_model(), a in 1e3f64..1e8, b in 1e3f64..1e8) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(model.per_proc_throughput(lo) <= model.per_proc_throughput(hi) + 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline calibration: measure the real compressor on a sample field
+//! and fit the throughput model (the paper's §IV-B procedure: compress
+//! one field of one snapshot across error bounds, fit `Cmin`, `Cmax`,
+//! `a`, then reuse the model everywhere).
+
+use crate::throughput::{fit as fit_throughput, ThroughputModel};
+use std::time::Instant;
+use szlite::{compress_with_stats, Config, Dims, ErrorBound};
+
+/// One offline compression observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Resolved absolute error bound used.
+    pub eb: f64,
+    /// Achieved compressed bit-rate (bits/value).
+    pub bit_rate: f64,
+    /// Measured single-core throughput, bytes/s.
+    pub throughput: f64,
+    /// Achieved compression ratio.
+    pub ratio: f64,
+}
+
+/// Compress `data` once per error bound, measuring wall-clock
+/// throughput. Returns the observations (for plotting, e.g. Fig. 5).
+pub fn observe(data: &[f32], dims: &Dims, bounds: &[ErrorBound]) -> Vec<Observation> {
+    let raw_bytes = (data.len() * 4) as f64;
+    bounds
+        .iter()
+        .filter_map(|&eb| {
+            let cfg = Config { error_bound: eb, ..Config::default() };
+            let start = Instant::now();
+            let (_, st) = compress_with_stats(data, dims, &cfg).ok()?;
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            Some(Observation {
+                eb: st.eb,
+                bit_rate: st.bit_rate(),
+                throughput: raw_bytes / secs,
+                ratio: st.ratio(),
+            })
+        })
+        .collect()
+}
+
+/// Full offline calibration: observe across `bounds` and fit Eq. (1).
+///
+/// Mirrors the paper's procedure of calibrating on one field (baryon
+/// density of the 512³ snapshot, rel bounds 1e-1…1e-8) and reusing the
+/// fitted `(Cmin, Cmax, a)` for every other field and snapshot.
+pub fn calibrate(data: &[f32], dims: &Dims, bounds: &[ErrorBound]) -> (ThroughputModel, Vec<Observation>) {
+    let obs = observe(data, dims, bounds);
+    assert!(obs.len() >= 2, "calibration needs at least two successful runs");
+    let samples: Vec<(f64, f64)> = obs.iter().map(|o| (o.bit_rate, o.throughput)).collect();
+    (fit_throughput(&samples), obs)
+}
+
+/// The paper's calibration bound sweep: value-range-relative bounds
+/// from 1e-1 down to 1e-8.
+pub fn paper_bound_sweep() -> Vec<ErrorBound> {
+    (1..=8).map(|i| ErrorBound::Rel(10f64.powi(-i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> (Vec<f32>, Dims) {
+        let n = 32;
+        let mut v = Vec::with_capacity(n * n * n);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    v.push(
+                        ((x as f32) * 0.15).sin() * ((y as f32) * 0.1).cos()
+                            + 0.02 * z as f32,
+                    );
+                }
+            }
+        }
+        (v, Dims::d3(n, n, n))
+    }
+
+    #[test]
+    fn observe_produces_monotone_bitrates() {
+        let (data, dims) = field();
+        let obs = observe(
+            &data,
+            &dims,
+            &[ErrorBound::Rel(1e-1), ErrorBound::Rel(1e-3), ErrorBound::Rel(1e-6)],
+        );
+        assert_eq!(obs.len(), 3);
+        assert!(obs[0].bit_rate < obs[1].bit_rate);
+        assert!(obs[1].bit_rate < obs[2].bit_rate);
+    }
+
+    #[test]
+    fn calibrate_produces_sane_model() {
+        let (data, dims) = field();
+        let (m, obs) = calibrate(&data, &dims, &paper_bound_sweep());
+        assert!(m.cmin > 0.0 && m.cmax >= m.cmin);
+        assert!(m.a < 0.0, "a = {}", m.a);
+        assert!(obs.len() >= 6);
+    }
+}

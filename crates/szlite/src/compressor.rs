@@ -1,0 +1,185 @@
+//! The compression pipeline: Lorenzo prediction → error-bounded
+//! quantization → canonical Huffman → LZSS.
+
+use crate::config::{Config, Dims};
+use crate::element::Element;
+use crate::error::{Result, SzError};
+use crate::huffman::HuffmanEncoder;
+use crate::lossless;
+use crate::predictor::Lorenzo;
+use crate::quantizer::{Quantizer, UNPREDICTABLE};
+use crate::stream::{put_f64, put_u32, put_varint, BitWriter};
+
+/// Stream magic: "SZL1".
+pub const MAGIC: u32 = 0x314C5A53;
+/// Current stream version.
+pub const VERSION: u8 = 1;
+
+/// Summary of one compression run, used by benchmarks and the ratio
+/// model validation experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressStats {
+    /// Number of points compressed.
+    pub n_points: usize,
+    /// Uncompressed size in bytes.
+    pub raw_bytes: usize,
+    /// Final compressed size in bytes (including header).
+    pub compressed_bytes: usize,
+    /// Points stored as raw literals (outside the codebook).
+    pub n_unpredictable: usize,
+    /// Serialized Huffman table size in bytes.
+    pub huffman_table_bytes: usize,
+    /// Bits used by the Huffman-coded symbol stream.
+    pub code_bits: u64,
+    /// Resolved absolute error bound.
+    pub eb: f64,
+}
+
+impl CompressStats {
+    /// Compression ratio (raw / compressed).
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.compressed_bytes as f64
+    }
+
+    /// Bit-rate: average bits stored per point.
+    pub fn bit_rate(&self) -> f64 {
+        self.compressed_bytes as f64 * 8.0 / self.n_points as f64
+    }
+}
+
+/// Compress `data` of shape `dims` under configuration `cfg`.
+pub fn compress<T: Element>(data: &[T], dims: &Dims, cfg: &Config) -> Result<Vec<u8>> {
+    compress_with_stats(data, dims, cfg).map(|(bytes, _)| bytes)
+}
+
+/// Compress and also return run statistics.
+pub fn compress_with_stats<T: Element>(
+    data: &[T],
+    dims: &Dims,
+    cfg: &Config,
+) -> Result<(Vec<u8>, CompressStats)> {
+    if data.is_empty() {
+        return Err(SzError::EmptyInput);
+    }
+    if dims.len() != data.len() {
+        return Err(SzError::DimMismatch { expected: dims.len(), actual: data.len() });
+    }
+
+    // Resolve the error bound against the data range.
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        let v = v.to_f64();
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if !min.is_finite() {
+        // All-NaN/Inf input: still valid, everything becomes a literal.
+        min = 0.0;
+        max = 0.0;
+    }
+    let eb = cfg.error_bound.resolve(min, max)?;
+
+    let quant = Quantizer::new(eb, cfg.radius);
+    let lorenzo = Lorenzo::new(dims);
+    let st = *lorenzo.strides();
+
+    let n = data.len();
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    let mut literals: Vec<u8> = Vec::new();
+    let mut recon = vec![0.0f64; n];
+    let mut n_unpred = 0usize;
+
+    let mut idx = 0usize;
+    for z in 0..st.ext[0] {
+        for y in 0..st.ext[1] {
+            for x in 0..st.ext[2] {
+                let xv = data[idx].to_f64();
+                let pred = lorenzo.predict(&recon, z, y, x);
+                let mut stored = false;
+                if xv.is_finite() {
+                    if let Some((code, r64)) = quant.quantize(xv, pred) {
+                        // Round through the storage type so the decoder
+                        // (which emits T) sees exactly this value.
+                        let rt = T::from_f64(r64).to_f64();
+                        if (xv - rt).abs() <= eb {
+                            codes.push(code);
+                            recon[idx] = rt;
+                            stored = true;
+                        }
+                    }
+                }
+                if !stored {
+                    codes.push(UNPREDICTABLE);
+                    data[idx].write_le(&mut literals);
+                    recon[idx] = if xv.is_finite() { xv } else { 0.0 };
+                    n_unpred += 1;
+                }
+                idx += 1;
+            }
+        }
+    }
+
+    // Huffman stage.
+    let mut freqs = vec![0u64; quant.alphabet()];
+    for &c in &codes {
+        freqs[c as usize] += 1;
+    }
+    let enc = HuffmanEncoder::from_freqs(&freqs);
+    let mut payload = Vec::new();
+    enc.serialize(&mut payload);
+    let table_bytes = payload.len();
+    let mut bw = BitWriter::new();
+    enc.encode(&codes, &mut bw);
+    let code_bits = bw.bit_len() as u64;
+    let code_bytes = bw.finish();
+    put_varint(&mut payload, codes.len() as u64);
+    put_varint(&mut payload, code_bytes.len() as u64);
+    payload.extend_from_slice(&code_bytes);
+    put_varint(&mut payload, n_unpred as u64);
+    payload.extend_from_slice(&literals);
+
+    // Lossless stage.
+    let (mode, body) = if cfg.lossless {
+        (1u8, lossless::compress(&payload))
+    } else {
+        (0u8, payload)
+    };
+
+    // Header.
+    let mut out = Vec::with_capacity(body.len() + 64);
+    put_u32(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(T::DTYPE);
+    out.push(dims.ndims() as u8);
+    for &d in dims.extents() {
+        put_varint(&mut out, d as u64);
+    }
+    put_f64(&mut out, eb);
+    put_u32(&mut out, cfg.radius);
+    out.push(mode);
+    put_varint(&mut out, body.len() as u64);
+    out.extend_from_slice(&body);
+
+    let stats = CompressStats {
+        n_points: n,
+        raw_bytes: n * T::BYTES,
+        compressed_bytes: out.len(),
+        n_unpredictable: n_unpred,
+        huffman_table_bytes: table_bytes,
+        code_bits,
+        eb,
+    };
+    Ok((out, stats))
+}
+
+/// Convenience wrapper: compress an `f32` array.
+pub fn compress_f32(data: &[f32], dims: &Dims, cfg: &Config) -> Result<Vec<u8>> {
+    compress(data, dims, cfg)
+}
+
+/// Convenience wrapper: compress an `f64` array.
+pub fn compress_f64(data: &[f64], dims: &Dims, cfg: &Config) -> Result<Vec<u8>> {
+    compress(data, dims, cfg)
+}

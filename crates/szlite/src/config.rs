@@ -1,0 +1,196 @@
+//! Compression configuration: dimensionality, error bounds, codebook size.
+
+use crate::error::{Result, SzError};
+
+/// Grid dimensions of the array being compressed.
+///
+/// szlite understands 1-D, 2-D and 3-D arrays laid out in row-major
+/// (C) order; the *last* dimension is the fastest varying, matching the
+/// conventions of Nyx/VPIC field dumps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Dims(Vec<usize>);
+
+impl Dims {
+    /// A 1-D array of `n` points.
+    pub fn d1(n: usize) -> Self {
+        Dims(vec![n])
+    }
+
+    /// A 2-D array with `ny` rows of `nx` points.
+    pub fn d2(ny: usize, nx: usize) -> Self {
+        Dims(vec![ny, nx])
+    }
+
+    /// A 3-D array of `nz` planes, `ny` rows, `nx` points.
+    pub fn d3(nz: usize, ny: usize, nx: usize) -> Self {
+        Dims(vec![nz, ny, nx])
+    }
+
+    /// Build from a slice (1..=3 entries, all non-zero).
+    pub fn from_slice(dims: &[usize]) -> Result<Self> {
+        if dims.is_empty() || dims.len() > 3 {
+            return Err(SzError::Corrupt("dims must have 1..=3 entries"));
+        }
+        if dims.contains(&0) {
+            return Err(SzError::Corrupt("zero dimension"));
+        }
+        Ok(Dims(dims.to_vec()))
+    }
+
+    /// Number of dimensions (1..=3).
+    pub fn ndims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the array holds no points (never constructible via the
+    /// public constructors, but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw dimension extents, slowest-varying first.
+    pub fn extents(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+/// User-facing error-bound specification.
+///
+/// `Abs` bounds the point-wise absolute error; `Rel` bounds the error
+/// relative to the value range of the input (SZ's "value-range relative"
+/// mode), i.e. the effective absolute bound is `r * (max - min)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Point-wise absolute error bound.
+    Abs(f64),
+    /// Value-range-relative error bound.
+    Rel(f64),
+}
+
+impl ErrorBound {
+    /// Resolve to an absolute bound for the given data range.
+    ///
+    /// A degenerate (constant) array under `Rel` resolves to a tiny
+    /// positive bound so that compression still succeeds.
+    pub fn resolve(&self, min: f64, max: f64) -> Result<f64> {
+        let eb = match *self {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::Rel(r) => {
+                let range = max - min;
+                if range > 0.0 {
+                    r * range
+                } else {
+                    r * min.abs().max(1.0)
+                }
+            }
+        };
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(SzError::InvalidErrorBound);
+        }
+        Ok(eb)
+    }
+}
+
+/// Full compressor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Error bound specification.
+    pub error_bound: ErrorBound,
+    /// Half-size of the quantization codebook. Codes live in
+    /// `[-radius+1, radius-1]`; anything outside is stored as a raw
+    /// literal ("unpredictable" point). SZ uses 32768 by default,
+    /// capping the Huffman tree size — the source of the compression
+    /// throughput lower bound discussed in the paper (Fig. 6).
+    pub radius: u32,
+    /// Apply the trailing lossless stage (LZSS). Disabling it is useful
+    /// for throughput experiments that isolate prediction + Huffman.
+    pub lossless: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            error_bound: ErrorBound::Rel(1e-3),
+            radius: 32768,
+            lossless: true,
+        }
+    }
+}
+
+impl Config {
+    /// Configuration with a point-wise absolute error bound.
+    pub fn abs(eb: f64) -> Self {
+        Config {
+            error_bound: ErrorBound::Abs(eb),
+            ..Default::default()
+        }
+    }
+
+    /// Configuration with a value-range-relative error bound.
+    pub fn rel(eb: f64) -> Self {
+        Config {
+            error_bound: ErrorBound::Rel(eb),
+            ..Default::default()
+        }
+    }
+
+    /// Override the quantization radius (codebook half-size).
+    pub fn with_radius(mut self, radius: u32) -> Self {
+        self.radius = radius.max(2);
+        self
+    }
+
+    /// Enable/disable the trailing lossless stage.
+    pub fn with_lossless(mut self, on: bool) -> Self {
+        self.lossless = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_product() {
+        assert_eq!(Dims::d3(4, 5, 6).len(), 120);
+        assert_eq!(Dims::d2(7, 3).len(), 21);
+        assert_eq!(Dims::d1(9).len(), 9);
+    }
+
+    #[test]
+    fn dims_rejects_zero() {
+        assert!(Dims::from_slice(&[0, 3]).is_err());
+        assert!(Dims::from_slice(&[]).is_err());
+        assert!(Dims::from_slice(&[1, 2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn rel_bound_resolves_against_range() {
+        let eb = ErrorBound::Rel(1e-2).resolve(-1.0, 3.0).unwrap();
+        assert!((eb - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_bound_constant_data() {
+        let eb = ErrorBound::Rel(1e-2).resolve(5.0, 5.0).unwrap();
+        assert!(eb > 0.0);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert!(ErrorBound::Abs(0.0).resolve(0.0, 1.0).is_err());
+        assert!(ErrorBound::Abs(-1.0).resolve(0.0, 1.0).is_err());
+        assert!(ErrorBound::Abs(f64::NAN).resolve(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn radius_floor() {
+        assert_eq!(Config::abs(1.0).with_radius(0).radius, 2);
+    }
+}

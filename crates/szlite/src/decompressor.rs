@@ -1,0 +1,166 @@
+//! Decompression: parse header, undo LZSS, Huffman-decode the symbol
+//! stream, and re-run the Lorenzo/quantizer recurrence.
+
+use crate::compressor::{MAGIC, VERSION};
+use crate::config::Dims;
+use crate::element::Element;
+use crate::error::{Result, SzError};
+use crate::huffman::HuffmanDecoder;
+use crate::lossless;
+use crate::predictor::Lorenzo;
+use crate::quantizer::{Quantizer, UNPREDICTABLE};
+use crate::stream::{get_f64, get_u32, get_varint, BitReader};
+
+/// Parsed stream header, available without decompressing the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamInfo {
+    /// Element type tag (0 = f32, 1 = f64).
+    pub dtype: u8,
+    /// Grid shape.
+    pub dims: Dims,
+    /// Resolved absolute error bound the stream was produced with.
+    pub eb: f64,
+    /// Quantizer radius.
+    pub radius: u32,
+    /// Whether the LZSS stage was applied.
+    pub lossless: bool,
+    /// Offset of the payload within the stream.
+    pub payload_offset: usize,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// Parse the header of an szlite stream.
+pub fn stream_info(bytes: &[u8]) -> Result<StreamInfo> {
+    let mut pos = 0usize;
+    if get_u32(bytes, &mut pos)? != MAGIC {
+        return Err(SzError::BadMagic);
+    }
+    let version = *bytes.get(pos).ok_or(SzError::Truncated("version"))?;
+    pos += 1;
+    if version != VERSION {
+        return Err(SzError::UnsupportedVersion(version));
+    }
+    let dtype = *bytes.get(pos).ok_or(SzError::Truncated("dtype"))?;
+    pos += 1;
+    let ndims = *bytes.get(pos).ok_or(SzError::Truncated("ndims"))? as usize;
+    pos += 1;
+    if ndims == 0 || ndims > 3 {
+        return Err(SzError::Corrupt("ndims"));
+    }
+    let mut ext = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let d = get_varint(bytes, &mut pos)? as usize;
+        ext.push(d);
+    }
+    let dims = Dims::from_slice(&ext)?;
+    let eb = get_f64(bytes, &mut pos)?;
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(SzError::Corrupt("header eb"));
+    }
+    let radius = get_u32(bytes, &mut pos)?;
+    if radius < 2 {
+        return Err(SzError::Corrupt("header radius"));
+    }
+    let mode = *bytes.get(pos).ok_or(SzError::Truncated("lossless mode"))?;
+    pos += 1;
+    if mode > 1 {
+        return Err(SzError::Corrupt("lossless mode"));
+    }
+    let payload_len = get_varint(bytes, &mut pos)? as usize;
+    if bytes.len() < pos + payload_len {
+        return Err(SzError::Truncated("payload"));
+    }
+    Ok(StreamInfo {
+        dtype,
+        dims,
+        eb,
+        radius,
+        lossless: mode == 1,
+        payload_offset: pos,
+        payload_len,
+    })
+}
+
+/// Decompress a stream into elements of type `T`.
+///
+/// Fails with [`SzError::Corrupt`] if the stream's element type does
+/// not match `T`.
+pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
+    let info = stream_info(bytes)?;
+    if info.dtype != T::DTYPE {
+        return Err(SzError::Corrupt("element type mismatch"));
+    }
+    let body = &bytes[info.payload_offset..info.payload_offset + info.payload_len];
+    let payload;
+    let payload_ref: &[u8] = if info.lossless {
+        payload = lossless::decompress(body)?;
+        &payload
+    } else {
+        body
+    };
+
+    let mut pos = 0usize;
+    let dec = HuffmanDecoder::deserialize(payload_ref, &mut pos)?;
+    let n_codes = get_varint(payload_ref, &mut pos)? as usize;
+    if n_codes != info.dims.len() {
+        return Err(SzError::Corrupt("code count vs dims"));
+    }
+    let code_len = get_varint(payload_ref, &mut pos)? as usize;
+    let code_end = pos.checked_add(code_len).ok_or(SzError::Corrupt("code length"))?;
+    let code_bytes = payload_ref
+        .get(pos..code_end)
+        .ok_or(SzError::Truncated("code bytes"))?;
+    let mut br = BitReader::new(code_bytes);
+    let codes = dec.decode(&mut br, n_codes)?;
+    pos = code_end;
+    let n_literals = get_varint(payload_ref, &mut pos)? as usize;
+    let lit_bytes = payload_ref.get(pos..).ok_or(SzError::Truncated("literals"))?;
+    if lit_bytes.len() < n_literals * T::BYTES {
+        return Err(SzError::Truncated("literal bytes"));
+    }
+
+    let quant = Quantizer::new(info.eb, info.radius);
+    let lorenzo = Lorenzo::new(&info.dims);
+    let st = *lorenzo.strides();
+
+    let n = info.dims.len();
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let mut recon = vec![0.0f64; n];
+    let mut lit_pos = 0usize;
+    let mut idx = 0usize;
+    for z in 0..st.ext[0] {
+        for y in 0..st.ext[1] {
+            for x in 0..st.ext[2] {
+                let code = codes[idx];
+                let value: T = if code == UNPREDICTABLE {
+                    let v = T::read_le(lit_bytes, &mut lit_pos)?;
+                    recon[idx] = if v.to_f64().is_finite() { v.to_f64() } else { 0.0 };
+                    v
+                } else {
+                    if code as usize >= quant.alphabet() {
+                        return Err(SzError::Corrupt("symbol out of alphabet"));
+                    }
+                    let pred = lorenzo.predict(&recon, z, y, x);
+                    let r64 = quant.reconstruct(code, pred);
+                    let v = T::from_f64(r64);
+                    recon[idx] = v.to_f64();
+                    v
+                };
+                out.push(value);
+                idx += 1;
+            }
+        }
+    }
+    Ok((out, info.dims))
+}
+
+/// Convenience wrapper: decompress an `f32` stream.
+pub fn decompress_f32(bytes: &[u8]) -> Result<(Vec<f32>, Dims)> {
+    decompress(bytes)
+}
+
+/// Convenience wrapper: decompress an `f64` stream.
+pub fn decompress_f64(bytes: &[u8]) -> Result<(Vec<f64>, Dims)> {
+    decompress(bytes)
+}

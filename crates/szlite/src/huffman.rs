@@ -1,0 +1,395 @@
+//! Canonical Huffman coding over quantization codes.
+//!
+//! SZ-style compressors Huffman-encode the quantization-code stream. The
+//! codebook is bounded (`2 * radius` symbols), which bounds tree-build
+//! time — the mechanism behind the compression-throughput floor the
+//! paper observes (Fig. 6).
+//!
+//! Codes are canonical so the table serializes as `(symbol, length)`
+//! pairs only; both sides reconstruct identical codes.
+
+use crate::error::{Result, SzError};
+use crate::stream::{get_varint, put_varint, BitReader, BitWriter};
+use std::collections::BinaryHeap;
+
+/// Maximum admissible code length. Rebuilt with flattened frequencies
+/// if exceeded (rare; needs near-Fibonacci frequency profiles).
+const MAX_CODE_LEN: u8 = 32;
+
+/// Encoder-side canonical Huffman table.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    /// `(code, len)` per symbol; `len == 0` means the symbol is absent.
+    codes: Vec<(u32, u8)>,
+}
+
+/// Decoder-side canonical Huffman table.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// Symbols sorted in canonical order.
+    symbols: Vec<u32>,
+    /// `first_code[len]`: canonical code value of the first code of
+    /// length `len`; `first_index[len]`: its index into `symbols`.
+    first_code: [u64; MAX_CODE_LEN as usize + 1],
+    first_index: [usize; MAX_CODE_LEN as usize + 1],
+    count: [usize; MAX_CODE_LEN as usize + 1],
+}
+
+/// Compute code lengths for `freqs` (index = symbol), returning a vector
+/// of lengths. Zero-frequency symbols get length 0.
+fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    // Number of used symbols.
+    let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let mut lens = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lens,
+        1 => {
+            lens[used[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Standard heap-based Huffman tree; nodes index into a parent array.
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for min-heap; tie-break on id for determinism.
+            other
+                .freq
+                .cmp(&self.freq)
+                .then_with(|| other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut freqs_work: Vec<u64> = freqs.to_vec();
+    loop {
+        let mut parent = vec![usize::MAX; used.len() * 2];
+        let mut heap: BinaryHeap<Node> = used
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Node { freq: freqs_work[s], id: i })
+            .collect();
+        let mut next_id = used.len();
+        while heap.len() > 1 {
+            let a = heap.pop().unwrap();
+            let b = heap.pop().unwrap();
+            parent[a.id] = next_id;
+            parent[b.id] = next_id;
+            heap.push(Node { freq: a.freq.saturating_add(b.freq), id: next_id });
+            next_id += 1;
+        }
+        // Depth of each leaf = chain length to the root.
+        let root = heap.pop().unwrap().id;
+        let mut too_deep = false;
+        for (i, &s) in used.iter().enumerate() {
+            let mut d = 0u32;
+            let mut n = i;
+            while n != root {
+                n = parent[n];
+                d += 1;
+            }
+            if d > MAX_CODE_LEN as u32 {
+                too_deep = true;
+                break;
+            }
+            lens[s] = d.max(1) as u8;
+        }
+        if !too_deep {
+            return lens;
+        }
+        // Flatten the distribution and retry; converges quickly.
+        for f in freqs_work.iter_mut() {
+            if *f > 0 {
+                *f = (*f >> 1) + 1;
+            }
+        }
+    }
+}
+
+/// Assign canonical codes given lengths. Returns `(code, len)` per symbol.
+fn canonical_codes(lens: &[u8]) -> Vec<(u32, u8)> {
+    let mut by_len: Vec<(u8, u32)> = lens
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l > 0)
+        .map(|(s, &l)| (l, s as u32))
+        .collect();
+    by_len.sort_unstable();
+    let mut codes = vec![(0u32, 0u8); lens.len()];
+    let mut code: u64 = 0;
+    let mut prev_len = 0u8;
+    for &(len, sym) in &by_len {
+        code <<= len - prev_len;
+        codes[sym as usize] = (code as u32, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+impl HuffmanEncoder {
+    /// Build an encoder from symbol frequencies (`freqs[s]` = count of
+    /// symbol `s`).
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        let lens = code_lengths(freqs);
+        HuffmanEncoder { codes: canonical_codes(&lens) }
+    }
+
+    /// Build directly from a symbol stream.
+    pub fn from_symbols(symbols: &[u32], alphabet: usize) -> Self {
+        let mut freqs = vec![0u64; alphabet];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        Self::from_freqs(&freqs)
+    }
+
+    /// Code length in bits for a symbol (0 if absent).
+    pub fn len_of(&self, sym: u32) -> u8 {
+        self.codes.get(sym as usize).map_or(0, |&(_, l)| l)
+    }
+
+    /// Total encoded bit length of a stream with the given frequencies.
+    pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| f * u64::from(self.len_of(s as u32)))
+            .sum()
+    }
+
+    /// Serialize the table: varint count then (delta-coded symbol, len).
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        let present: Vec<(u32, u8)> = self
+            .codes
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, l))| l > 0)
+            .map(|(s, &(_, l))| (s as u32, l))
+            .collect();
+        put_varint(out, self.codes.len() as u64);
+        put_varint(out, present.len() as u64);
+        let mut prev = 0u32;
+        for &(sym, len) in &present {
+            put_varint(out, u64::from(sym - prev));
+            out.push(len);
+            prev = sym;
+        }
+    }
+
+    /// Encode `symbols` appending to the writer.
+    pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) {
+        for &s in symbols {
+            let (code, len) = self.codes[s as usize];
+            debug_assert!(len > 0, "encoding absent symbol {s}");
+            w.write_bits(u64::from(code), len);
+        }
+    }
+
+    /// Table size when serialized, in bytes (used by the ratio model).
+    pub fn table_bytes(&self) -> usize {
+        let mut v = Vec::new();
+        self.serialize(&mut v);
+        v.len()
+    }
+}
+
+impl HuffmanDecoder {
+    /// Deserialize a table previously written by
+    /// [`HuffmanEncoder::serialize`].
+    pub fn deserialize(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let alphabet = get_varint(buf, pos)? as usize;
+        let n_present = get_varint(buf, pos)? as usize;
+        if n_present > alphabet || alphabet > (1 << 24) {
+            return Err(SzError::Corrupt("huffman table header"));
+        }
+        let mut lens = vec![0u8; alphabet];
+        let mut prev = 0u64;
+        for i in 0..n_present {
+            let delta = get_varint(buf, pos)?;
+            let sym = if i == 0 { delta } else { prev + delta };
+            let len = *buf.get(*pos).ok_or(SzError::Truncated("huffman len"))?;
+            *pos += 1;
+            if len == 0 || len > MAX_CODE_LEN || sym >= alphabet as u64 {
+                return Err(SzError::Corrupt("huffman table entry"));
+            }
+            lens[sym as usize] = len;
+            prev = sym;
+        }
+        Self::from_lens(&lens)
+    }
+
+    /// Build from code lengths.
+    pub fn from_lens(lens: &[u8]) -> Result<Self> {
+        let mut count = [0usize; MAX_CODE_LEN as usize + 1];
+        for &l in lens {
+            if l > MAX_CODE_LEN {
+                return Err(SzError::Corrupt("huffman code too long"));
+            }
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        // Canonical ordering: by (len, symbol).
+        let mut by_len: Vec<(u8, u32)> = lens
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0)
+            .map(|(s, &l)| (l, s as u32))
+            .collect();
+        by_len.sort_unstable();
+        let symbols: Vec<u32> = by_len.iter().map(|&(_, s)| s).collect();
+
+        let mut first_code = [0u64; MAX_CODE_LEN as usize + 1];
+        let mut first_index = [0usize; MAX_CODE_LEN as usize + 1];
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code <<= 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            code += count[len] as u64;
+            index += count[len];
+        }
+        Ok(HuffmanDecoder { symbols, first_code, first_index, count })
+    }
+
+    /// Decode one symbol from the reader.
+    pub fn decode_one(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        // Single-symbol degenerate table: consume one bit.
+        let mut code = 0u64;
+        for len in 1..=MAX_CODE_LEN as usize {
+            let bit = r.read_bit().ok_or(SzError::Truncated("huffman bits"))?;
+            code = (code << 1) | u64::from(bit);
+            let cnt = self.count[len];
+            if cnt > 0 {
+                let first = self.first_code[len];
+                if code < first + cnt as u64 && code >= first {
+                    let idx = self.first_index[len] + (code - first) as usize;
+                    return Ok(self.symbols[idx]);
+                }
+            }
+        }
+        Err(SzError::Corrupt("invalid huffman code"))
+    }
+
+    /// Decode exactly `n` symbols.
+    pub fn decode(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.decode_one(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32], alphabet: usize) {
+        let enc = HuffmanEncoder::from_symbols(symbols, alphabet);
+        let mut table = Vec::new();
+        enc.serialize(&mut table);
+        let mut w = BitWriter::new();
+        enc.encode(symbols, &mut w);
+        let bits = w.finish();
+
+        let mut pos = 0;
+        let dec = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
+        assert_eq!(pos, table.len());
+        let mut r = BitReader::new(&bits);
+        let decoded = dec.decode(&mut r, symbols.len()).unwrap();
+        assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        roundtrip(&[1, 2, 3, 1, 1, 1, 2, 0, 0, 3], 4);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&[5; 100], 8);
+    }
+
+    #[test]
+    fn roundtrip_two_symbols() {
+        roundtrip(&[0, 1, 0, 1, 1, 1, 0], 2);
+    }
+
+    #[test]
+    fn roundtrip_skewed() {
+        let mut syms = vec![7u32; 10_000];
+        syms.extend((0..64).map(|i| i as u32));
+        roundtrip(&syms, 64 + 8);
+    }
+
+    #[test]
+    fn roundtrip_wide_alphabet() {
+        let syms: Vec<u32> = (0..5_000u32).map(|i| (i * 7919) % 65536).collect();
+        roundtrip(&syms, 65536);
+    }
+
+    #[test]
+    fn skewed_codes_are_shorter() {
+        let mut freqs = vec![1u64; 16];
+        freqs[3] = 1_000_000;
+        let enc = HuffmanEncoder::from_freqs(&freqs);
+        for s in 0..16 {
+            if s != 3 {
+                assert!(enc.len_of(3) <= enc.len_of(s));
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_bits_matches_actual() {
+        let syms: Vec<u32> = (0..1000u32).map(|i| i % 10).collect();
+        let mut freqs = vec![0u64; 10];
+        for &s in &syms {
+            freqs[s as usize] += 1;
+        }
+        let enc = HuffmanEncoder::from_symbols(&syms, 10);
+        let mut w = BitWriter::new();
+        enc.encode(&syms, &mut w);
+        assert_eq!(w.bit_len() as u64, enc.encoded_bits(&freqs));
+    }
+
+    #[test]
+    fn corrupt_table_rejected() {
+        // length byte of 0 is invalid
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 4); // alphabet
+        put_varint(&mut buf, 1); // one entry
+        put_varint(&mut buf, 1); // symbol 1
+        buf.push(0); // invalid length
+        let mut pos = 0;
+        assert!(HuffmanDecoder::deserialize(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn truncated_bits_detected() {
+        let syms = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
+        let enc = HuffmanEncoder::from_symbols(&syms, 4);
+        let mut w = BitWriter::new();
+        enc.encode(&syms, &mut w);
+        let bits = w.finish();
+        let mut table = Vec::new();
+        enc.serialize(&mut table);
+        let mut pos = 0;
+        let dec = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
+        let mut r = BitReader::new(&bits[..0]);
+        assert!(dec.decode(&mut r, syms.len()).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! # szlite — prediction-based error-bounded lossy compression
+//!
+//! A from-scratch Rust implementation of the SZ3-style compression
+//! pipeline used as the compressor substrate of the SC'22 paper
+//! *"Accelerating Parallel Write via Deeply Integrating Predictive
+//! Lossy Compression with HDF5"*:
+//!
+//! 1. **Lorenzo prediction** of each point from already-processed
+//!    neighbors ([`predictor`]),
+//! 2. **error-bounded linear quantization** of the residual with a
+//!    bounded codebook ([`quantizer`]),
+//! 3. **canonical Huffman coding** of the code stream ([`huffman`]),
+//! 4. a trailing **LZSS lossless stage** ([`lossless`]).
+//!
+//! The bounded codebook (default radius 32768) caps Huffman tree size
+//! and yields the bounded min/max compression throughput the paper's
+//! prediction model (its Eq. 1) relies on; unpredictable points escape
+//! to raw literals, which produces the throughput floor at tiny error
+//! bounds.
+//!
+//! ## Guarantee
+//!
+//! For every finite input value `x` and its reconstruction `x̂`:
+//! `|x − x̂| ≤ eb` (the resolved absolute bound). Enforced by
+//! construction and re-checked against storage-type rounding; points
+//! that would violate it are stored verbatim.
+//!
+//! ## Example
+//!
+//! ```
+//! use szlite::{compress_f32, decompress_f32, Config, Dims};
+//!
+//! let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+//! let dims = Dims::d3(16, 16, 16);
+//! let bytes = compress_f32(&data, &dims, &Config::abs(1e-3)).unwrap();
+//! assert!(bytes.len() < 4096 * 4);
+//! let (restored, rdims) = decompress_f32(&bytes).unwrap();
+//! assert_eq!(rdims, dims);
+//! for (a, b) in data.iter().zip(&restored) {
+//!     assert!((a - b).abs() <= 1e-3);
+//! }
+//! ```
+
+pub mod config;
+pub mod element;
+pub mod error;
+pub mod huffman;
+pub mod lossless;
+pub mod predictor;
+pub mod quantizer;
+pub mod sampling;
+pub mod stats;
+pub mod stream;
+
+mod compressor;
+mod decompressor;
+
+pub use compressor::{compress, compress_f32, compress_f64, compress_with_stats, CompressStats};
+pub use config::{Config, Dims, ErrorBound};
+pub use decompressor::{decompress, decompress_f32, decompress_f64, stream_info, StreamInfo};
+pub use element::Element;
+pub use error::{Result, SzError};
+pub use sampling::{sample_quantization, SampleCodes};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave3d(nz: usize, ny: usize, nx: usize) -> Vec<f32> {
+        let mut v = Vec::with_capacity(nz * ny * nx);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    v.push(
+                        ((x as f32) * 0.2).sin() * ((y as f32) * 0.13).cos()
+                            + 0.01 * (z as f32),
+                    );
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn roundtrip_3d_within_bound() {
+        let dims = Dims::d3(12, 10, 14);
+        let data = wave3d(12, 10, 14);
+        let eb = 1e-3;
+        let bytes = compress_f32(&data, &dims, &Config::abs(eb)).unwrap();
+        let (restored, rdims) = decompress_f32(&bytes).unwrap();
+        assert_eq!(rdims, dims);
+        assert!(stats::max_abs_err(&data, &restored) <= eb);
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let dims = Dims::d2(32, 32);
+        let data: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.03).sin() * 100.0).collect();
+        let bytes = compress_f64(&data, &dims, &Config::abs(1e-6)).unwrap();
+        let (restored, _) = decompress_f64(&bytes).unwrap();
+        for (a, b) in data.iter().zip(&restored) {
+            assert!((a - b).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let dims = Dims::d3(32, 32, 32);
+        let data = wave3d(32, 32, 32);
+        let (_, st) =
+            compress_with_stats(&data, &dims, &Config::rel(1e-3)).unwrap();
+        assert!(st.ratio() > 4.0, "ratio {}", st.ratio());
+    }
+
+    #[test]
+    fn tighter_bound_lower_ratio() {
+        let dims = Dims::d3(24, 24, 24);
+        let data = wave3d(24, 24, 24);
+        let (_, loose) = compress_with_stats(&data, &dims, &Config::rel(1e-2)).unwrap();
+        let (_, tight) = compress_with_stats(&data, &dims, &Config::rel(1e-5)).unwrap();
+        assert!(loose.ratio() > tight.ratio());
+    }
+
+    #[test]
+    fn nan_values_survive_roundtrip() {
+        let dims = Dims::d1(16);
+        let mut data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        data[5] = f32::NAN;
+        data[9] = f32::INFINITY;
+        let bytes = compress_f32(&data, &dims, &Config::abs(0.1)).unwrap();
+        let (restored, _) = decompress_f32(&bytes).unwrap();
+        assert!(restored[5].is_nan());
+        assert_eq!(restored[9], f32::INFINITY);
+        assert!((restored[0] - 0.0).abs() <= 0.1);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let dims = Dims::d1(8);
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let bytes = compress_f32(&data, &dims, &Config::abs(0.1)).unwrap();
+        assert!(decompress_f64(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(compress_f32(&[], &Dims::d1(1), &Config::abs(0.1)).is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let data = vec![0.0f32; 10];
+        assert!(matches!(
+            compress_f32(&data, &Dims::d1(11), &Config::abs(0.1)),
+            Err(SzError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_info_reports_header() {
+        let dims = Dims::d3(4, 5, 6);
+        let data = wave3d(4, 5, 6);
+        let bytes = compress_f32(&data, &dims, &Config::abs(0.25)).unwrap();
+        let info = stream_info(&bytes).unwrap();
+        assert_eq!(info.dims, dims);
+        assert_eq!(info.dtype, 0);
+        assert!((info.eb - 0.25).abs() < 1e-12);
+        assert!(info.lossless);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let dims = Dims::d1(256);
+        let data: Vec<f32> = (0..256).map(|i| (i as f32).sin()).collect();
+        let bytes = compress_f32(&data, &dims, &Config::abs(1e-3)).unwrap();
+        for cut in [0, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decompress_f32(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decompress_f32(&[0u8; 64]).is_err());
+        assert!(matches!(decompress_f32(b"not a stream at all"), Err(SzError::BadMagic)));
+    }
+
+    #[test]
+    fn constant_data_compresses_extremely() {
+        let dims = Dims::d3(16, 16, 16);
+        let data = vec![42.0f32; 4096];
+        let (bytes, st) = compress_with_stats(&data, &dims, &Config::rel(1e-3)).unwrap();
+        assert!(st.ratio() > 50.0, "ratio {}", st.ratio());
+        let (restored, _) = decompress_f32(&bytes).unwrap();
+        assert!(restored.iter().all(|&v| (v - 42.0).abs() < 1e-2));
+    }
+
+    #[test]
+    fn no_lossless_mode_roundtrip() {
+        let dims = Dims::d1(512);
+        let data: Vec<f32> = (0..512).map(|i| (i as f32 * 0.1).cos()).collect();
+        let cfg = Config::abs(1e-3).with_lossless(false);
+        let bytes = compress_f32(&data, &dims, &cfg).unwrap();
+        let info = stream_info(&bytes).unwrap();
+        assert!(!info.lossless);
+        let (restored, _) = decompress_f32(&bytes).unwrap();
+        assert!(stats::max_abs_err(&data, &restored) <= 1e-3);
+    }
+}

@@ -1,0 +1,267 @@
+//! Trailing lossless stage: LZSS with hash-chain matching.
+//!
+//! SZ applies a general-purpose lossless compressor (zstd) after Huffman
+//! coding; we implement a self-contained LZSS. Like zstd-on-Huffman
+//! output, it wins when the code stream has long repeats (very smooth
+//! regions → long zero-code runs) and falls back to a raw copy when the
+//! Huffman output is effectively random (the paper's low-ratio regime,
+//! §III-D factor 3).
+
+use crate::error::{Result, SzError};
+use crate::stream::{get_varint, put_varint};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 255 + MIN_MATCH;
+const WINDOW: usize = 65535;
+const HASH_BITS: u32 = 16;
+const MAX_CHAIN: usize = 48;
+
+/// Stage tag: payload stored raw (incompressible input).
+const MODE_RAW: u8 = 0;
+/// Stage tag: payload is LZSS token stream.
+const MODE_LZSS: u8 = 1;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`, always producing a self-describing stream
+/// (mode byte + payload). Never grows the data by more than a few bytes.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let lz = lzss_compress(input);
+    if lz.len() + 1 < input.len() {
+        let mut out = Vec::with_capacity(lz.len() + 1);
+        out.push(MODE_LZSS);
+        out.extend_from_slice(&lz);
+        out
+    } else {
+        let mut out = Vec::with_capacity(input.len() + 1);
+        out.push(MODE_RAW);
+        out.extend_from_slice(input);
+        out
+    }
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let (&mode, rest) = input.split_first().ok_or(SzError::Truncated("lossless mode"))?;
+    match mode {
+        MODE_RAW => Ok(rest.to_vec()),
+        MODE_LZSS => lzss_decompress(rest),
+        _ => Err(SzError::Corrupt("unknown lossless mode")),
+    }
+}
+
+fn lzss_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    put_varint(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut i = 0usize;
+    // Token group: flag byte position + bit count.
+    let mut flag_pos = out.len();
+    out.push(0);
+    let mut flag_bits = 0u8;
+
+    macro_rules! push_flag {
+        ($bit:expr) => {
+            if flag_bits == 8 {
+                flag_pos = out.len();
+                out.push(0);
+                flag_bits = 0;
+            }
+            if $bit {
+                out[flag_pos] |= 1 << flag_bits;
+            }
+            flag_bits += 1;
+        };
+    }
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(input, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let max_len = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max_len && input[cand + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            push_flag!(true);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Insert hash entries for the covered span (sparsely for speed).
+            let end = i + best_len;
+            while i < end && i + MIN_MATCH <= input.len() {
+                let h = hash4(input, i);
+                prev[i] = head[h];
+                head[h] = i;
+                i += 1;
+            }
+            i = end;
+        } else {
+            push_flag!(false);
+            out.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash4(input, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let n = get_varint(input, &mut pos)? as usize;
+    if n > (1 << 40) {
+        return Err(SzError::Corrupt("lzss length implausible"));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut flags = 0u8;
+    let mut flag_bits = 0u8;
+    while out.len() < n {
+        if flag_bits == 0 {
+            flags = *input.get(pos).ok_or(SzError::Truncated("lzss flags"))?;
+            pos += 1;
+            flag_bits = 8;
+        }
+        let is_match = flags & 1 != 0;
+        flags >>= 1;
+        flag_bits -= 1;
+        if is_match {
+            let b = input
+                .get(pos..pos + 3)
+                .ok_or(SzError::Truncated("lzss match"))?;
+            pos += 3;
+            let dist = u16::from_le_bytes([b[0], b[1]]) as usize;
+            let len = b[2] as usize + MIN_MATCH;
+            if dist == 0 || dist > out.len() {
+                return Err(SzError::Corrupt("lzss distance"));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let byte = out[start + k];
+                out.push(byte);
+            }
+        } else {
+            let byte = *input.get(pos).ok_or(SzError::Truncated("lzss literal"))?;
+            pos += 1;
+            out.push(byte);
+        }
+    }
+    if out.len() != n {
+        return Err(SzError::Corrupt("lzss length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn roundtrip_short() {
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data: Vec<u8> = b"abcabcabcabcabcabc".repeat(100);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "repetitive data should shrink");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_zeros() {
+        let data = vec![0u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < 2_000);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_raw() {
+        // xorshift-style pseudo-random bytes
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + 1);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_roundtrip() {
+        // "aaaa..." forces dist-1 overlapping copies
+        let data = vec![b'a'; 1000];
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_mode_rejected() {
+        assert!(decompress(&[9, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let data: Vec<u8> = b"hello world hello world hello world".to_vec();
+        let mut c = compress(&data);
+        c.truncate(c.len() - 3);
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        // Hand-craft: n=8, flag byte with match bit, dist 100 > produced 0
+        let mut buf = vec![MODE_LZSS];
+        put_varint(&mut buf, 8);
+        buf.push(0b0000_0001);
+        buf.extend_from_slice(&100u16.to_le_bytes());
+        buf.push(0);
+        assert!(decompress(&buf).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Low-level byte/bit stream primitives used by the container format.
+//!
+//! Everything is little-endian. Varints use LEB128.
+
+use crate::error::{Result, SzError};
+
+/// Append a `u64` LEB128 varint to `out`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(SzError::Truncated("varint"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(SzError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian `u32` at `*pos`.
+pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let end = pos.checked_add(4).ok_or(SzError::Truncated("u32"))?;
+    let bytes = buf.get(*pos..end).ok_or(SzError::Truncated("u32"))?;
+    *pos = end;
+    Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian `u64` at `*pos`.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let end = pos.checked_add(8).ok_or(SzError::Truncated("u64"))?;
+    let bytes = buf.get(*pos..end).ok_or(SzError::Truncated("u64"))?;
+    *pos = end;
+    Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+/// Append a little-endian `f64`.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian `f64` at `*pos`.
+pub fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
+    let end = pos.checked_add(8).ok_or(SzError::Truncated("f64"))?;
+    let bytes = buf.get(*pos..end).ok_or(SzError::Truncated("f64"))?;
+    *pos = end;
+    Ok(f64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+/// MSB-first bit writer over a growable byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits accumulated in `acc`, 0..=7 after each push.
+    acc: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `len` bits of `code`, MSB first. `len <= 64`.
+    pub fn write_bits(&mut self, code: u64, len: u8) {
+        debug_assert!(len <= 64);
+        for i in (0..len).rev() {
+            let bit = ((code >> i) & 1) as u8;
+            self.acc = (self.acc << 1) | bit;
+            self.nbits += 1;
+            if self.nbits == 8 {
+                self.bytes.push(self.acc);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Number of whole bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+
+    /// Flush the final partial byte (zero padded) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.acc <<= 8 - self.nbits;
+            self.bytes.push(self.acc);
+        }
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// New reader positioned at the first bit of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0, bit: 0 }
+    }
+
+    /// Read a single bit; `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<u8> {
+        let byte = *self.bytes.get(self.pos)?;
+        let bit = (byte >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Some(bit)
+    }
+
+    /// Read `len` bits MSB-first into a `u64`.
+    pub fn read_bits(&mut self, len: u8) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..len {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let vals = [0u64, 1, 127, 128, 300, 65535, 1 << 32, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncated() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert!(matches!(get_varint(&buf, &mut pos), Err(SzError::Truncated(_))));
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xdeadbeef);
+        put_u64(&mut buf, 0x0123456789abcdef);
+        put_f64(&mut buf, -1.25e300);
+        let mut pos = 0;
+        assert_eq!(get_u32(&buf, &mut pos).unwrap(), 0xdeadbeef);
+        assert_eq!(get_u64(&buf, &mut pos).unwrap(), 0x0123456789abcdef);
+        assert_eq!(get_f64(&buf, &mut pos).unwrap(), -1.25e300);
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xffff, 16);
+        w.write_bits(0, 1);
+        w.write_bits(0b1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xffff);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn bit_reader_eof() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert!(r.read_bit().is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the szlite pipeline invariants.
+
+use proptest::prelude::*;
+use szlite::{
+    compress_f32, compress_f64, compress_with_stats, decompress_f32, decompress_f64,
+    huffman::{HuffmanDecoder, HuffmanEncoder},
+    lossless,
+    stream::{BitReader, BitWriter},
+    Config, Dims,
+};
+
+/// Arbitrary small 1-3D shapes with matching data lengths.
+fn shape_and_data() -> impl Strategy<Value = (Vec<usize>, Vec<f32>)> {
+    prop_oneof![
+        (1usize..200).prop_map(|n| vec![n]),
+        ((1usize..24), (1usize..24)).prop_map(|(a, b)| vec![a, b]),
+        ((1usize..10), (1usize..10), (1usize..10)).prop_map(|(a, b, c)| vec![a, b, c]),
+    ]
+    .prop_flat_map(|dims| {
+        let n: usize = dims.iter().product();
+        (
+            Just(dims),
+            proptest::collection::vec(-1e6f32..1e6f32, n..=n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn error_bound_invariant_abs((dims, data) in shape_and_data(), eb in 1e-4f64..10.0) {
+        let d = Dims::from_slice(&dims).unwrap();
+        let bytes = compress_f32(&data, &d, &Config::abs(eb)).unwrap();
+        let (restored, rdims) = decompress_f32(&bytes).unwrap();
+        prop_assert_eq!(rdims, d);
+        prop_assert_eq!(restored.len(), data.len());
+        for (i, (&a, &b)) in data.iter().zip(&restored).enumerate() {
+            prop_assert!(
+                (f64::from(a) - f64::from(b)).abs() <= eb,
+                "point {} of {}: {} vs {} (eb {})", i, data.len(), a, b, eb
+            );
+        }
+    }
+
+    #[test]
+    fn error_bound_invariant_rel((dims, data) in shape_and_data(), r in 1e-5f64..1e-1) {
+        let d = Dims::from_slice(&dims).unwrap();
+        let bytes = compress_f32(&data, &d, &Config::rel(r)).unwrap();
+        let info = szlite::stream_info(&bytes).unwrap();
+        let (restored, _) = decompress_f32(&bytes).unwrap();
+        for (&a, &b) in data.iter().zip(&restored) {
+            prop_assert!((f64::from(a) - f64::from(b)).abs() <= info.eb);
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_bound(data in proptest::collection::vec(-1e12f64..1e12, 1..500), eb in 1e-6f64..1e3) {
+        let d = Dims::d1(data.len());
+        let bytes = compress_f64(&data, &d, &Config::abs(eb)).unwrap();
+        let (restored, _) = decompress_f64(&bytes).unwrap();
+        for (&a, &b) in data.iter().zip(&restored) {
+            prop_assert!((a - b).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn compressed_size_reported_accurately((dims, data) in shape_and_data()) {
+        let d = Dims::from_slice(&dims).unwrap();
+        let (bytes, st) = compress_with_stats(&data, &d, &Config::rel(1e-3)).unwrap();
+        prop_assert_eq!(bytes.len(), st.compressed_bytes);
+        prop_assert_eq!(st.n_points, data.len());
+    }
+
+    #[test]
+    fn lossless_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lossless::compress(&data);
+        let out = lossless::decompress(&c).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn lossless_never_expands_much(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lossless::compress(&data);
+        prop_assert!(c.len() <= data.len() + 16);
+    }
+
+    #[test]
+    fn huffman_roundtrip(symbols in proptest::collection::vec(0u32..512, 1..2000)) {
+        let enc = HuffmanEncoder::from_symbols(&symbols, 512);
+        let mut table = Vec::new();
+        enc.serialize(&mut table);
+        let mut w = BitWriter::new();
+        enc.encode(&symbols, &mut w);
+        let bits = w.finish();
+        let mut pos = 0;
+        let dec = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
+        let mut r = BitReader::new(&bits);
+        let decoded = dec.decode(&mut r, symbols.len()).unwrap();
+        prop_assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn decompressor_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Must return an error or a valid result, never panic.
+        let _ = decompress_f32(&data);
+    }
+
+    #[test]
+    fn truncation_never_panics((dims, data) in shape_and_data(), frac in 0.0f64..1.0) {
+        let d = Dims::from_slice(&dims).unwrap();
+        let bytes = compress_f32(&data, &d, &Config::rel(1e-3)).unwrap();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let _ = decompress_f32(&bytes[..cut.min(bytes.len().saturating_sub(1))]);
+    }
+}

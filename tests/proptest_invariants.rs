@@ -1,0 +1,104 @@
+//! Cross-crate property tests on the planner and pipeline invariants.
+
+use proptest::prelude::*;
+use repro_suite::predwrite::{
+    fit_split, optimize_order, plan_overflow, queue_time, ExtraSpacePolicy,
+    PartitionPrediction, WritePlan,
+};
+
+fn predictions() -> impl Strategy<Value = Vec<Vec<PartitionPrediction>>> {
+    // nranks 1..8, nfields 1..6
+    ((1usize..8), (1usize..6)).prop_flat_map(|(nr, nf)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                ((1u64..10_000_000), (1.0f64..100.0))
+                    .prop_map(|(bytes, ratio)| PartitionPrediction { bytes, ratio }),
+                nf..=nf,
+            ),
+            nr..=nr,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plans_are_always_disjoint(preds in predictions(), rs in 1.0f64..2.0, base in 0u64..1_000_000) {
+        let plan = WritePlan::build(&preds, &ExtraSpacePolicy::new(rs), base);
+        prop_assert!(plan.is_disjoint());
+        prop_assert!(plan.data_end >= base);
+        // Every slot holds at least its prediction.
+        for (r, row) in plan.slots.iter().enumerate() {
+            for (f, s) in row.iter().enumerate() {
+                prop_assert!(s.reserved >= preds[r][f].bytes);
+                prop_assert!(s.offset >= base);
+                prop_assert!(s.offset + s.reserved <= plan.data_end);
+            }
+        }
+    }
+
+    #[test]
+    fn fit_split_conserves(actual in 0u64..1_000_000, reserved in 0u64..1_000_000) {
+        let s = fit_split(actual, reserved);
+        prop_assert_eq!(s.in_slot + s.overflow, actual);
+        prop_assert!(s.in_slot <= reserved);
+    }
+
+    #[test]
+    fn overflow_offsets_disjoint(
+        ovf in ((1usize..6), (1usize..5)).prop_flat_map(|(nr, nf)| {
+            proptest::collection::vec(
+                proptest::collection::vec(0u64..100_000, nf..=nf),
+                nr..=nr,
+            )
+        }),
+        end in 0u64..1_000_000,
+    ) {
+        let offs = plan_overflow(&ovf, end);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (r, row) in offs.iter().enumerate() {
+            for (f, &o) in row.iter().enumerate() {
+                prop_assert!(o >= end);
+                if ovf[r][f] > 0 {
+                    spans.push((o, ovf[r][f]));
+                }
+            }
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "overflow regions overlap");
+        }
+    }
+
+    #[test]
+    fn optimizer_never_worse_and_is_permutation(
+        times in proptest::collection::vec(((0.001f64..10.0), (0.001f64..10.0)), 1..10))
+    {
+        let pc: Vec<f64> = times.iter().map(|t| t.0).collect();
+        let pw: Vec<f64> = times.iter().map(|t| t.1).collect();
+        let order = optimize_order(&pc, &pw);
+        // Valid permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..pc.len()).collect::<Vec<_>>());
+        // Never worse than identity.
+        let identity: Vec<usize> = (0..pc.len()).collect();
+        prop_assert!(queue_time(&order, &pc, &pw) <= queue_time(&identity, &pc, &pw) + 1e-9);
+    }
+
+    #[test]
+    fn queue_time_lower_bounds(times in proptest::collection::vec(((0.001f64..10.0), (0.001f64..10.0)), 1..10)) {
+        let pc: Vec<f64> = times.iter().map(|t| t.0).collect();
+        let pw: Vec<f64> = times.iter().map(|t| t.1).collect();
+        let order: Vec<usize> = (0..pc.len()).collect();
+        let t = queue_time(&order, &pc, &pw);
+        // Finish time is at least total compression, and at least the
+        // largest single task.
+        let sum_c: f64 = pc.iter().sum();
+        prop_assert!(t >= sum_c - 1e-9);
+        for i in 0..pc.len() {
+            prop_assert!(t >= pc[i] + pw[i] - 1e-9);
+        }
+    }
+}
