@@ -15,10 +15,14 @@ fn bench_compress(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(raw));
     for rel in [1e-1, 1e-3, 1e-6] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("rel{rel:.0e}")), &rel, |b, &rel| {
-            let cfg = Config::rel(rel);
-            b.iter(|| compress_f32(&f.data, &dims, &cfg).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("rel{rel:.0e}")),
+            &rel,
+            |b, &rel| {
+                let cfg = Config::rel(rel);
+                b.iter(|| compress_f32(&f.data, &dims, &cfg).unwrap());
+            },
+        );
     }
     g.finish();
 
@@ -27,9 +31,13 @@ fn bench_compress(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(raw));
     for rel in [1e-1, 1e-3, 1e-6] {
         let stream = compress_f32(&f.data, &dims, &Config::rel(rel)).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("rel{rel:.0e}")), &stream, |b, s| {
-            b.iter(|| decompress_f32(s).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("rel{rel:.0e}")),
+            &stream,
+            |b, s| {
+                b.iter(|| decompress_f32(s).unwrap());
+            },
+        );
     }
     g.finish();
 }

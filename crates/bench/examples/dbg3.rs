@@ -1,5 +1,5 @@
 use szlite::{compress_with_stats, Config, Dims};
-use workloads::{nyx, NyxParams, Decomposition};
+use workloads::{nyx, Decomposition, NyxParams};
 fn main() {
     let side = 64;
     let ds = nyx::snapshot(NyxParams::with_side(side));
@@ -7,10 +7,19 @@ fn main() {
     println!("rel eb = {eb:.3e}");
     let dims = Dims::d3(side, side, side);
     for f in &ds.fields {
-        let (mn, mx) = f.data.iter().fold((f32::MAX, f32::MIN), |(a,b),&v| (a.min(v), b.max(v)));
-        let cfg = Config::abs((eb * (mx-mn) as f64).max(1e-30));
+        let (mn, mx) = f
+            .data
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+        let cfg = Config::abs((eb * (mx - mn) as f64).max(1e-30));
         let (_, st) = compress_with_stats(&f.data, &dims, &cfg).unwrap();
-        println!("{:22} range {:.3e} full-field bits/val {:.2} ratio {:.1}", f.name, mx-mn, st.bit_rate(), st.ratio());
+        println!(
+            "{:22} range {:.3e} full-field bits/val {:.2} ratio {:.1}",
+            f.name,
+            mx - mn,
+            st.bit_rate(),
+            st.ratio()
+        );
         let dec = Decomposition::new(64, [side, side, side]);
         let bd = dec.block;
         let bdims = Dims::d3(bd[0], bd[1], bd[2]);
@@ -20,6 +29,9 @@ fn main() {
             let (_, st) = compress_with_stats(&blk, &bdims, &cfg).unwrap();
             total += st.compressed_bytes;
         }
-        println!("  64-part total bits/val {:.2}", total as f64 * 8.0 / (side*side*side) as f64);
+        println!(
+            "  64-part total bits/val {:.2}",
+            total as f64 * 8.0 / (side * side * side) as f64
+        );
     }
 }

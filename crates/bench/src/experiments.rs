@@ -6,11 +6,11 @@ use crate::setup::{
     nyx_eb_for_bitrate, nyx_profiles, nyx_profiles_with, vpic_profiles, ExperimentScale,
 };
 use crate::table::{bytes, pct, ratio, secs, Table};
-use predwrite::{
-    simulate_all, simulate_method, weight_to_rspace, ExtraSpacePolicy, Method,
-    PartitionProfile, RunResult, SimParams,
-};
 use pfsim::{simulate_concurrent_writes, BandwidthModel};
+use predwrite::{
+    simulate_all, simulate_method, weight_to_rspace, ExtraSpacePolicy, Method, PartitionProfile,
+    RunResult, SimParams,
+};
 use ratiomodel::{calibrate, observe, paper_bound_sweep, Models, ThroughputModel};
 use std::time::Instant;
 use szlite::{compress_with_stats, sample_quantization, Config, Dims};
@@ -29,7 +29,10 @@ fn models_for(bw: &BandwidthModel, _nranks: usize) -> Models {
         })
         .collect();
     let write = ratiomodel::fit_writetime(&meas);
-    Models { write, ..Models::with_cthr(1.0) }
+    Models {
+        write,
+        ..Models::with_cthr(1.0)
+    }
 }
 
 /// Table I: tested datasets (generated stand-ins + scaling note).
@@ -114,8 +117,14 @@ pub fn fig5(scale: ExperimentScale) {
     let dims = Dims::d3(side, side, side);
     let mut t = Table::new(&["field", "rel eb", "bit-rate", "throughput", "ratio"]);
     for (label, data) in [
-        ("nyx/baryon_density", &nyx_ds.field("baryon_density").unwrap().data),
-        ("nyx/temperature", &nyx_ds.field("temperature").unwrap().data),
+        (
+            "nyx/baryon_density",
+            &nyx_ds.field("baryon_density").unwrap().data,
+        ),
+        (
+            "nyx/temperature",
+            &nyx_ds.field("temperature").unwrap().data,
+        ),
         ("nyx/velocity_x", &nyx_ds.field("velocity_x").unwrap().data),
         ("rtm/pressure", &rtm_ds.field("pressure").unwrap().data),
     ] {
@@ -130,8 +139,10 @@ pub fn fig5(scale: ExperimentScale) {
         }
     }
     print!("{}", t.render());
-    println!("paper: throughput bounded both sides (~120-250 MB/s on Bebop),\n\
-              decreasing with bit-rate; curve consistent across fields\n");
+    println!(
+        "paper: throughput bounded both sides (~120-250 MB/s on Bebop),\n\
+              decreasing with bit-rate; curve consistent across fields\n"
+    );
 }
 
 /// Fig. 6: min/max compression throughput across data samples.
@@ -142,7 +153,12 @@ pub fn fig6(scale: ExperimentScale) {
     let dec = Decomposition::new(8, [side, side, side]);
     let bd = dec.block;
     let dims = Dims::d3(bd[0], bd[1], bd[2]);
-    let fields = ["baryon_density", "dark_matter_density", "temperature", "velocity_x"];
+    let fields = [
+        "baryon_density",
+        "dark_matter_density",
+        "temperature",
+        "velocity_x",
+    ];
     let mut t = Table::new(&["sample", "field", "min MB/s", "max MB/s"]);
     let mut all_min = f64::MAX;
     let mut all_max = f64::MIN;
@@ -226,8 +242,8 @@ fn tradeoff_curve(
                 &SimParams::new(*bw).with_policy(ExtraSpacePolicy::new(rs)),
             );
             let perf_ovh = (r.total_time - base.total_time) / base_write;
-            let ovf_frac = r.n_overflow as f64
-                / profiles.iter().map(Vec::len).sum::<usize>() as f64;
+            let ovf_frac =
+                r.n_overflow as f64 / profiles.iter().map(Vec::len).sum::<usize>() as f64;
             (rs, r.storage_overhead(), perf_ovh.max(0.0), ovf_frac)
         })
         .collect()
@@ -243,11 +259,16 @@ pub fn fig9(scale: ExperimentScale) {
     let profiles = nyx_profiles(side, scale.measured_ranks().min(64), nranks, 2.0, &models);
     let rspaces = [1.05, 1.1, 1.15, 1.2, 1.25, 1.3, 1.43, 1.6];
     let curve = tradeoff_curve(&profiles, &bw, &rspaces);
-    let mut t = Table::new(&["weight", "rspace", "storage ovh", "perf ovh", "overflow parts"]);
+    let mut t = Table::new(&[
+        "weight",
+        "rspace",
+        "storage ovh",
+        "perf ovh",
+        "overflow parts",
+    ]);
     for (rs, st, pf, ovf) in curve {
         // Inverse of the weight→rspace mapping for display.
-        let w = ((predwrite::RSPACE_MAX - rs)
-            / (predwrite::RSPACE_MAX - predwrite::RSPACE_MIN))
+        let w = ((predwrite::RSPACE_MAX - rs) / (predwrite::RSPACE_MAX - predwrite::RSPACE_MIN))
             .clamp(0.0, 1.0);
         t.row(vec![
             format!("{w:.2}"),
@@ -258,9 +279,11 @@ pub fn fig9(scale: ExperimentScale) {
         ]);
     }
     print!("{}", t.render());
-    println!("paper anchors: rspace 1.1 → 32.4% partitions overflow, +65.6% time;\n\
+    println!(
+        "paper anchors: rspace 1.1 → 32.4% partitions overflow, +65.6% time;\n\
               supported band [1.1, 1.43], default 1.25; check weight_to_rspace(0.5) = {:.3}\n",
-        weight_to_rspace(0.5));
+        weight_to_rspace(0.5)
+    );
 }
 
 /// Fig. 11/12: accuracy of the compression-time estimation.
@@ -391,14 +414,15 @@ pub fn fig14(scale: ExperimentScale) {
     let nranks = 512;
     let measured = scale.measured_ranks().min(64);
     let rspaces = [1.05, 1.1, 1.25, 1.43, 1.6];
-    for (sys_name, bw) in [("summit", BandwidthModel::summit()), ("bebop", BandwidthModel::bebop())] {
+    for (sys_name, bw) in [
+        ("summit", BandwidthModel::summit()),
+        ("bebop", BandwidthModel::bebop()),
+    ] {
         let models = models_for(&bw, nranks);
         let side = scale.nyx_side();
         let nyx_p = nyx_profiles(side, measured, nranks, 2.0, &models);
         let vpic_p = vpic_profiles(scale.vpic_particles(), measured, nranks, 2.0, &models);
-        for (ds_name, profiles, nfields) in
-            [("nyx", &nyx_p, 6usize), ("vpic", &vpic_p, 8usize)]
-        {
+        for (ds_name, profiles, nfields) in [("nyx", &nyx_p, 6usize), ("vpic", &vpic_p, 8usize)] {
             let mut t = Table::new(&["field", "rspace", "storage ovh", "perf ovh"]);
             for f in 0..nfields.min(3) {
                 // Profile set restricted to one field.
@@ -417,8 +441,10 @@ pub fn fig14(scale: ExperimentScale) {
             print!("{}", t.render());
         }
     }
-    println!("paper: curves are similar across fields and systems, enabling one\n\
-              offline mapping (their Fig. 14)\n");
+    println!(
+        "paper: curves are similar across fields and systems, enabling one\n\
+              offline mapping (their Fig. 14)\n"
+    );
 }
 
 /// Fig. 15: consistency of overheads across simulation time-steps.
@@ -438,13 +464,21 @@ pub fn fig15(scale: ExperimentScale) {
         t.row(vec![format!("{z:.1}"), pct(st), pct(pf), pct(ovf)]);
     }
     print!("{}", t.render());
-    println!("paper: storage and performance overheads stay consistent across\n\
-              time-steps at a fixed extra-space ratio (their Fig. 15)\n");
+    println!(
+        "paper: storage and performance overheads stay consistent across\n\
+              time-steps at a fixed extra-space ratio (their Fig. 15)\n"
+    );
 }
 
 fn breakdown_table(results: &[RunResult]) -> Table {
     let mut t = Table::new(&[
-        "method", "total", "predict", "allgather", "compress", "write", "overflow",
+        "method",
+        "total",
+        "predict",
+        "allgather",
+        "compress",
+        "write",
+        "overflow",
         "eff.ratio",
     ]);
     for r in results {
@@ -524,15 +558,21 @@ pub fn fig17(scale: ExperimentScale) {
         println!("-- {name} --");
         print!("{}", breakdown_table(&results).render());
     }
-    println!("paper: reordering gains vanish at extreme ratios; component times\n\
-              stay stable across scales apart from all-gather growth (their Fig. 17)\n");
+    println!(
+        "paper: reordering gains vanish at extreme ratios; component times\n\
+              stay stable across scales apart from all-gather growth (their Fig. 17)\n"
+    );
 }
 
 /// Fig. 18: overall improvement + storage overhead for both sweeps.
 pub fn fig18(scale: ExperimentScale) {
     println!("== Fig. 18: speedup over H5Z-SZ baseline & storage overhead ==");
     let mut t = Table::new(&[
-        "scenario", "vs filter", "vs no-comp", "reorder gain", "storage ovh",
+        "scenario",
+        "vs filter",
+        "vs no-comp",
+        "reorder gain",
+        "storage ovh",
     ]);
     for (name, results) in ratio_sweep(scale).into_iter().chain(scale_sweep(scale)) {
         let get = |m: Method| results.iter().find(|r| r.method == m).copied().unwrap();
@@ -547,8 +587,10 @@ pub fn fig18(scale: ExperimentScale) {
         ]);
     }
     print!("{}", t.render());
-    println!("paper: best gains at mid ratios (10-20x); improvement stable-to-\n\
-              slightly-rising with scale (their Fig. 18)\n");
+    println!(
+        "paper: best gains at mid ratios (10-20x); improvement stable-to-\n\
+              slightly-rising with scale (their Fig. 18)\n"
+    );
 }
 
 fn ratio_sweep(scale: ExperimentScale) -> Vec<(String, Vec<RunResult>)> {

@@ -1,8 +1,8 @@
 //! Shared workload/profile construction for the experiments.
 
 use predwrite::{profile_partition, replicate_profiles, PartitionProfile};
-use ratiomodel::ThroughputModel;
 use ratiomodel::Models;
+use ratiomodel::ThroughputModel;
 use szlite::{compress_with_stats, Config, Dims};
 use workloads::{nyx, vpic, Decomposition, NyxParams, VpicParams};
 
@@ -128,7 +128,13 @@ pub fn nyx_profiles(
     target_bits: f64,
     models: &Models,
 ) -> Vec<Vec<PartitionProfile>> {
-    nyx_profiles_with(NyxParams::with_side(side), measured_ranks, target_ranks, target_bits, models)
+    nyx_profiles_with(
+        NyxParams::with_side(side),
+        measured_ranks,
+        target_ranks,
+        target_bits,
+        models,
+    )
 }
 
 /// [`nyx_profiles`] with explicit snapshot parameters (seed/red shift),

@@ -27,7 +27,14 @@ impl Barrier {
     /// Barrier for `n` participants (n ≥ 1).
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
-        Barrier { n, state: Mutex::new(State { remaining: n, generation: 0 }), cvar: Condvar::new() }
+        Barrier {
+            n,
+            state: Mutex::new(State {
+                remaining: n,
+                generation: 0,
+            }),
+            cvar: Condvar::new(),
+        }
     }
 
     /// Block until all `n` participants have called `wait`.

@@ -78,12 +78,18 @@ impl World {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..shared.n)
                 .map(|r| {
-                    let rank = Rank { rank: r, shared: Arc::clone(shared) };
+                    let rank = Rank {
+                        rank: r,
+                        shared: Arc::clone(shared),
+                    };
                     let f = &f;
                     s.spawn(move || f(rank))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         })
     }
 }
@@ -190,7 +196,11 @@ impl Rank {
 
     /// Send `value` to rank `to` with `tag` (non-blocking, unbounded).
     pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, value: T) {
-        let msg = Message { from: self.rank, tag, payload: Box::new(value) };
+        let msg = Message {
+            from: self.rank,
+            tag,
+            payload: Box::new(value),
+        };
         self.shared.inboxes[to].lock().push_back(msg);
         self.shared.inbox_cv[to].notify_all();
     }
@@ -199,9 +209,7 @@ impl Rank {
     pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> T {
         let mut inbox = self.shared.inboxes[self.rank].lock();
         loop {
-            if let Some(pos) =
-                inbox.iter().position(|m| m.from == from && m.tag == tag)
-            {
+            if let Some(pos) = inbox.iter().position(|m| m.from == from && m.tag == tag) {
                 let msg = inbox.remove(pos).unwrap();
                 return *msg
                     .payload

@@ -39,7 +39,9 @@ impl ExtraSpacePolicy {
     /// supported band are allowed (the sweeps in Fig. 9/14 probe them)
     /// but clamped to ≥ 1.
     pub fn new(rspace: f64) -> Self {
-        ExtraSpacePolicy { rspace: rspace.max(1.0) }
+        ExtraSpacePolicy {
+            rspace: rspace.max(1.0),
+        }
     }
 
     /// Effective per-partition ratio after Eq. (3).
@@ -105,6 +107,67 @@ mod tests {
     #[test]
     fn clamps_below_one() {
         assert_eq!(ExtraSpacePolicy::new(0.5).rspace, 1.0);
+    }
+
+    #[test]
+    fn eq3_at_band_endpoints() {
+        // Eq. 3 evaluated exactly at the supported band's ends:
+        // RSPACE_MIN → 1 + 0.1·4 = 1.4; RSPACE_MAX → 1 + 0.43·4 = 2.72,
+        // clamped to the cap of 2.
+        let lo = ExtraSpacePolicy::new(RSPACE_MIN);
+        assert!((lo.effective(HIGH_RATIO_THRESHOLD + 1e-9) - 1.4).abs() < 1e-9);
+        let hi = ExtraSpacePolicy::new(RSPACE_MAX);
+        assert_eq!(hi.effective(HIGH_RATIO_THRESHOLD + 1e-9), 2.0);
+        // The widened value can never drop below the base ratio within
+        // the supported band (would shrink reservations when the model
+        // is least trustworthy).
+        for rspace in [RSPACE_MIN, 1.2, 1.25, 1.3, RSPACE_MAX] {
+            let p = ExtraSpacePolicy::new(rspace);
+            assert!(p.effective(100.0) >= p.rspace);
+        }
+    }
+
+    #[test]
+    fn eq3_threshold_is_exclusive() {
+        // Exactly at the threshold the base ratio applies; only strictly
+        // above it does Eq. 3 widen.
+        let p = ExtraSpacePolicy::new(RSPACE_MIN);
+        assert_eq!(p.effective(HIGH_RATIO_THRESHOLD), RSPACE_MIN);
+        assert!(p.effective(HIGH_RATIO_THRESHOLD.next_up()) > RSPACE_MIN);
+    }
+
+    #[test]
+    fn reserve_bytes_at_band_endpoints() {
+        // Below threshold the base ratio scales the prediction…
+        assert_eq!(
+            ExtraSpacePolicy::new(RSPACE_MIN).reserve_bytes(1000, 10.0),
+            1100
+        );
+        assert_eq!(
+            ExtraSpacePolicy::new(RSPACE_MAX).reserve_bytes(1000, 10.0),
+            1430
+        );
+        // …above it the Eq. 3 widening applies (and caps at 2×).
+        // 1 + (1.1−1)·4 is 1.4000000000000004 in f64, and reservations
+        // round up, so the reserve is one byte over the ideal 1400.
+        assert_eq!(
+            ExtraSpacePolicy::new(RSPACE_MIN).reserve_bytes(1000, 50.0),
+            1401
+        );
+        assert_eq!(
+            ExtraSpacePolicy::new(RSPACE_MAX).reserve_bytes(1000, 50.0),
+            2000
+        );
+        // Zero prediction reserves zero regardless of policy.
+        assert_eq!(ExtraSpacePolicy::new(RSPACE_MAX).reserve_bytes(0, 50.0), 0);
+    }
+
+    #[test]
+    fn weight_mapping_clamps_out_of_range() {
+        // Weights outside [0, 1] clamp to the band endpoints, so the
+        // policy can never leave the supported Rspace range.
+        assert!((weight_to_rspace(-3.0) - RSPACE_MAX).abs() < 1e-12);
+        assert!((weight_to_rspace(7.5) - RSPACE_MIN).abs() < 1e-12);
     }
 
     #[test]

@@ -146,14 +146,19 @@ mod tests {
 
     #[test]
     fn breakdown_total() {
-        let b = Breakdown { predict: 1.0, allgather: 2.0, compress: 3.0, write: 4.0, overflow: 5.0 };
+        let b = Breakdown {
+            predict: 1.0,
+            allgather: 2.0,
+            compress: 3.0,
+            write: 4.0,
+            overflow: 5.0,
+        };
         assert_eq!(b.total(), 15.0);
     }
 
     #[test]
     fn labels_unique() {
-        let labels: std::collections::HashSet<_> =
-            Method::ALL.iter().map(|m| m.label()).collect();
+        let labels: std::collections::HashSet<_> = Method::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 }

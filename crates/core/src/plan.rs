@@ -56,17 +56,35 @@ impl WritePlan {
         let nfields = predictions.first().map_or(0, Vec::len);
         debug_assert!(predictions.iter().all(|p| p.len() == nfields));
 
-        let mut slots = vec![vec![PartitionSlot { offset: 0, reserved: 0, predicted: 0 }; nfields]; nranks];
+        let mut slots = vec![
+            vec![
+                PartitionSlot {
+                    offset: 0,
+                    reserved: 0,
+                    predicted: 0
+                };
+                nfields
+            ];
+            nranks
+        ];
         let mut cursor = base;
         for f in 0..nfields {
             for (r, rank_preds) in predictions.iter().enumerate() {
                 let p = rank_preds[f];
                 let reserved = policy.reserve_bytes(p.bytes, p.ratio);
-                slots[r][f] = PartitionSlot { offset: cursor, reserved, predicted: p.bytes };
+                slots[r][f] = PartitionSlot {
+                    offset: cursor,
+                    reserved,
+                    predicted: p.bytes,
+                };
                 cursor += reserved;
             }
         }
-        WritePlan { slots, base, data_end: cursor }
+        WritePlan {
+            slots,
+            base,
+            data_end: cursor,
+        }
     }
 
     /// Total reserved bytes.
@@ -101,9 +119,15 @@ pub struct FitSplit {
 /// Split an actual compressed size against a reservation.
 pub fn fit_split(actual: u64, reserved: u64) -> FitSplit {
     if actual <= reserved {
-        FitSplit { in_slot: actual, overflow: 0 }
+        FitSplit {
+            in_slot: actual,
+            overflow: 0,
+        }
     } else {
-        FitSplit { in_slot: reserved, overflow: actual - reserved }
+        FitSplit {
+            in_slot: reserved,
+            overflow: actual - reserved,
+        }
     }
 }
 
@@ -131,7 +155,10 @@ mod tests {
         vals.iter()
             .map(|row| {
                 row.iter()
-                    .map(|&b| PartitionPrediction { bytes: b, ratio: 10.0 })
+                    .map(|&b| PartitionPrediction {
+                        bytes: b,
+                        ratio: 10.0,
+                    })
                     .collect()
             })
             .collect()
@@ -161,8 +188,14 @@ mod tests {
     #[test]
     fn eq3_applies_per_partition() {
         let p = vec![vec![
-            PartitionPrediction { bytes: 100, ratio: 10.0 },
-            PartitionPrediction { bytes: 100, ratio: 50.0 },
+            PartitionPrediction {
+                bytes: 100,
+                ratio: 10.0,
+            },
+            PartitionPrediction {
+                bytes: 100,
+                ratio: 50.0,
+            },
         ]];
         let plan = WritePlan::build(&p, &ExtraSpacePolicy::new(1.25), 0);
         assert_eq!(plan.slots[0][0].reserved, 125);
@@ -179,9 +212,27 @@ mod tests {
 
     #[test]
     fn fit_split_cases() {
-        assert_eq!(fit_split(80, 100), FitSplit { in_slot: 80, overflow: 0 });
-        assert_eq!(fit_split(100, 100), FitSplit { in_slot: 100, overflow: 0 });
-        assert_eq!(fit_split(130, 100), FitSplit { in_slot: 100, overflow: 30 });
+        assert_eq!(
+            fit_split(80, 100),
+            FitSplit {
+                in_slot: 80,
+                overflow: 0
+            }
+        );
+        assert_eq!(
+            fit_split(100, 100),
+            FitSplit {
+                in_slot: 100,
+                overflow: 0
+            }
+        );
+        assert_eq!(
+            fit_split(130, 100),
+            FitSplit {
+                in_slot: 100,
+                overflow: 30
+            }
+        );
     }
 
     #[test]
@@ -203,6 +254,49 @@ mod tests {
         assert_eq!(off[1][0], 1000);
         assert_eq!(off[0][1], 1010);
         assert_eq!(off[1][1], 1040);
+    }
+
+    #[test]
+    fn plan_overflow_zero_overflow() {
+        // No partition overflowed: every offset is data_end and the
+        // region consumes no space (the next append would start there).
+        let ovf = vec![vec![0u64; 3]; 4];
+        let off = plan_overflow(&ovf, 4096);
+        assert!(off.iter().flatten().all(|&o| o == 4096));
+        // An appended region planned right after must also start at
+        // data_end — zero overflow moved the cursor by nothing.
+        let again = plan_overflow(&[vec![8]], 4096);
+        assert_eq!(again[0][0], 4096);
+    }
+
+    #[test]
+    fn plan_overflow_all_overflow() {
+        // Every partition overflowed: spans must tile [data_end, end)
+        // contiguously in field-major order with no gaps or overlap.
+        let ovf = vec![vec![10u64, 40], vec![20, 5]];
+        let off = plan_overflow(&ovf, 100);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (r, row) in off.iter().enumerate() {
+            for (f, &o) in row.iter().enumerate() {
+                assert!(o >= 100);
+                spans.push((o, ovf[r][f]));
+            }
+        }
+        spans.sort_unstable();
+        let total: u64 = ovf.iter().flatten().sum();
+        let mut cursor = 100;
+        for (o, len) in spans {
+            assert_eq!(o, cursor, "gap or overlap in overflow layout");
+            cursor += len;
+        }
+        assert_eq!(cursor, 100 + total);
+    }
+
+    #[test]
+    fn plan_overflow_empty_inputs() {
+        assert!(plan_overflow(&[], 500).is_empty());
+        let off = plan_overflow(&[vec![], vec![]], 500);
+        assert_eq!(off, vec![Vec::<u64>::new(), Vec::new()]);
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn profile_partition(
         pred_comp_time: est.comp_time,
         pred_write_time: est.write_time,
         actual_bytes: st.compressed_bytes as u64,
-        comp_time: models.throughput.compression_time(raw_bytes as f64, actual_bits),
+        comp_time: models
+            .throughput
+            .compression_time(raw_bytes as f64, actual_bits),
     })
 }
 
@@ -123,8 +125,8 @@ mod tests {
     #[test]
     fn profile_has_consistent_fields() {
         let data = wave(4096);
-        let p = profile_partition(&data, &Dims::d3(16, 16, 16), &Config::rel(1e-3), &models())
-            .unwrap();
+        let p =
+            profile_partition(&data, &Dims::d3(16, 16, 16), &Config::rel(1e-3), &models()).unwrap();
         assert_eq!(p.n_points, 4096);
         assert_eq!(p.raw_bytes, 16384);
         assert!(p.actual_bytes > 0 && p.actual_bytes < p.raw_bytes);
@@ -135,8 +137,7 @@ mod tests {
     #[test]
     fn replicate_preserves_measured_prefix() {
         let data = wave(1000);
-        let p = profile_partition(&data, &Dims::d1(1000), &Config::rel(1e-3), &models())
-            .unwrap();
+        let p = profile_partition(&data, &Dims::d1(1000), &Config::rel(1e-3), &models()).unwrap();
         let base = vec![vec![p], vec![p]];
         let big = replicate_profiles(&base, 8);
         assert_eq!(big.len(), 8);
@@ -154,8 +155,7 @@ mod tests {
     #[test]
     fn replicate_is_deterministic() {
         let data = wave(500);
-        let p = profile_partition(&data, &Dims::d1(500), &Config::rel(1e-3), &models())
-            .unwrap();
+        let p = profile_partition(&data, &Dims::d1(500), &Config::rel(1e-3), &models()).unwrap();
         let base = vec![vec![p]];
         assert_eq!(replicate_profiles(&base, 16), replicate_profiles(&base, 16));
     }

@@ -19,8 +19,7 @@ use crate::plan::{fit_split, plan_overflow, PartitionPrediction, WritePlan};
 use crate::scheduler::{identity_order, optimize_order};
 use commsim::World;
 use h5lite::{
-    AttrValue, DatasetSpec, Dtype, EventSet, FilterSpec, H5File, SzFilterParams,
-    SZLITE_FILTER_ID,
+    AttrValue, DatasetSpec, Dtype, EventSet, FilterSpec, H5File, SzFilterParams, SZLITE_FILTER_ID,
 };
 use pfsim::{BandwidthModel, Throttle};
 use ratiomodel::Models;
@@ -114,7 +113,9 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
     for f in 0..nfields {
         let n0 = data[0][f].data.len();
         if data.iter().any(|r| r[f].data.len() != n0) {
-            return Err(RealError("per-field partition sizes must be uniform".into()));
+            return Err(RealError(
+                "per-field partition sizes must be uniform".into(),
+            ));
         }
     }
     let compressed = cfg.method != Method::NoCompression;
@@ -128,8 +129,8 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
     for f in 0..nfields {
         let part_points = data[0][f].data.len() as u64;
         let total_points = part_points * nranks as u64;
-        let mut spec = DatasetSpec::new(&data[0][f].name, Dtype::F32, &[total_points])
-            .chunked(&[part_points]);
+        let mut spec =
+            DatasetSpec::new(&data[0][f].name, Dtype::F32, &[total_points]).chunked(&[part_points]);
         if compressed {
             let (absolute, bound) = match cfg.configs[f].error_bound {
                 ErrorBound::Abs(b) => (true, b),
@@ -178,8 +179,7 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
                                 .collect()
                         })
                         .collect();
-                    let plan =
-                        WritePlan::build(&sizes, &ExtraSpacePolicy::new(1.0), base);
+                    let plan = WritePlan::build(&sizes, &ExtraSpacePolicy::new(1.0), base);
                     let es = EventSet::new(1);
                     for f in 0..nfields {
                         let bytes: Vec<u8> = data[r][f]
@@ -228,7 +228,10 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
                         .iter()
                         .map(|row| {
                             row.iter()
-                                .map(|&b| PartitionPrediction { bytes: b, ratio: 1.0 })
+                                .map(|&b| PartitionPrediction {
+                                    bytes: b,
+                                    ratio: 1.0,
+                                })
                                 .collect()
                         })
                         .collect();

@@ -124,7 +124,9 @@ mod tests {
         }
         let mut x = 42u64;
         let mut rng = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) % 1000) as f64 / 100.0 + 0.01
         };
         for _ in 0..30 {

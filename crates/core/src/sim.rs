@@ -90,7 +90,10 @@ fn sim_nocomp(profiles: &[Vec<PartitionProfile>], params: &SimParams) -> RunResu
             release: 0.0,
             tasks: fields
                 .iter()
-                .map(|p| PipelineTask { compute: 0.0, write_bytes: p.raw_bytes as f64 })
+                .map(|p| PipelineTask {
+                    compute: 0.0,
+                    write_bytes: p.raw_bytes as f64,
+                })
                 .collect(),
         })
         .collect();
@@ -99,7 +102,10 @@ fn sim_nocomp(profiles: &[Vec<PartitionProfile>], params: &SimParams) -> RunResu
     RunResult {
         method: Method::NoCompression,
         total_time: out.makespan,
-        breakdown: Breakdown { write: out.makespan, ..Default::default() },
+        breakdown: Breakdown {
+            write: out.makespan,
+            ..Default::default()
+        },
         raw_bytes: raw,
         compressed_bytes: raw,
         file_bytes: raw,
@@ -129,7 +135,12 @@ fn sim_filter(profiles: &[Vec<PartitionProfile>], params: &SimParams) -> RunResu
     RunResult {
         method: Method::FilterCollective,
         total_time: compress + ag + write,
-        breakdown: Breakdown { allgather: ag, compress, write, ..Default::default() },
+        breakdown: Breakdown {
+            allgather: ag,
+            compress,
+            write,
+            ..Default::default()
+        },
         raw_bytes: raw,
         compressed_bytes: comp,
         file_bytes: comp,
@@ -145,9 +156,7 @@ fn sim_overlap(profiles: &[Vec<PartitionProfile>], params: &SimParams, reorder: 
     // all-gather synchronizes everyone at max(predict) + ag.
     let predict = profiles
         .iter()
-        .map(|fields| {
-            fields.iter().map(|p| p.comp_time).sum::<f64>() * params.predict_frac
-        })
+        .map(|fields| fields.iter().map(|p| p.comp_time).sum::<f64>() * params.predict_frac)
         .fold(0.0, f64::max);
     let ag = params.allgather_time(nranks);
     let release = predict + ag;
@@ -158,7 +167,10 @@ fn sim_overlap(profiles: &[Vec<PartitionProfile>], params: &SimParams, reorder: 
         .map(|fields| {
             fields
                 .iter()
-                .map(|p| PartitionPrediction { bytes: p.pred_bytes, ratio: p.pred_ratio })
+                .map(|p| PartitionPrediction {
+                    bytes: p.pred_bytes,
+                    ratio: p.pred_ratio,
+                })
                 .collect()
         })
         .collect();
@@ -189,7 +201,10 @@ fn sim_overlap(profiles: &[Vec<PartitionProfile>], params: &SimParams, reorder: 
                         overflow_bytes += split.overflow;
                         rank_overflow[r] += split.overflow;
                     }
-                    PipelineTask { compute: p.comp_time, write_bytes: split.in_slot as f64 }
+                    PipelineTask {
+                        compute: p.comp_time,
+                        write_bytes: split.in_slot as f64,
+                    }
                 })
                 .collect();
             RankPipeline { release, tasks }
@@ -217,7 +232,11 @@ fn sim_overlap(profiles: &[Vec<PartitionProfile>], params: &SimParams, reorder: 
     // the end (in-slot bytes within reservations are not reclaimed).
     let file_bytes = plan.reserved_total() + overflow_bytes;
     RunResult {
-        method: if reorder { Method::OverlapReorder } else { Method::Overlap },
+        method: if reorder {
+            Method::OverlapReorder
+        } else {
+            Method::Overlap
+        },
         total_time: makespan + overflow_time,
         breakdown: Breakdown {
             predict,
@@ -241,7 +260,12 @@ mod tests {
     /// Synthetic profile set: `nranks` ranks × `nfields` fields with a
     /// spread of sizes and compression times. Partition size matches
     /// the paper's weak-scaling unit (256³ points = 64 MiB raw).
-    fn synth(nranks: usize, nfields: usize, ratio: f64, accurate: bool) -> Vec<Vec<PartitionProfile>> {
+    fn synth(
+        nranks: usize,
+        nfields: usize,
+        ratio: f64,
+        accurate: bool,
+    ) -> Vec<Vec<PartitionProfile>> {
         let n_points = 1 << 24; // 16 Mi points = 64 MiB raw
         (0..nranks)
             .map(|r| {
@@ -342,7 +366,11 @@ mod tests {
         );
         assert!(hi.storage_overhead() > lo.storage_overhead());
         // With accurate predictions, overhead ≈ rspace − 1 + prediction slack.
-        assert!((hi.storage_overhead() - 0.46).abs() < 0.1, "{}", hi.storage_overhead());
+        assert!(
+            (hi.storage_overhead() - 0.46).abs() < 0.1,
+            "{}",
+            hi.storage_overhead()
+        );
     }
 
     #[test]

@@ -2,19 +2,18 @@
 //! compressing synthetic Nyx data and writing a shared h5lite file,
 //! then reading it back and checking the error bound.
 
-use predwrite::{
-    run_real, ExtraSpacePolicy, Method, RankFieldData, RealConfig, RunResult,
-};
 use pfsim::BandwidthModel;
+use predwrite::{run_real, ExtraSpacePolicy, Method, RankFieldData, RealConfig, RunResult};
 use ratiomodel::Models;
 use std::path::PathBuf;
 use szlite::{Config, Dims};
+use testutil::TempPath;
 use workloads::{nyx, Decomposition, NyxParams};
 
-fn tmp(name: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("predwrite-test-{}-{}.h5l", std::process::id(), name));
-    p
+/// RAII temp path: the container file is removed when the guard drops,
+/// even if an assertion fails mid-test.
+fn tmp(name: &str) -> TempPath {
+    TempPath::new(&format!("predwrite-{name}"), "h5l")
 }
 
 /// Build per-rank field data from a Nyx snapshot.
@@ -53,12 +52,7 @@ fn config(method: Method, path: PathBuf) -> RealConfig {
 
 /// Reassemble a field from per-rank chunks (rank-ordered 1-D layout)
 /// and compare against the original 3-D field per-rank block.
-fn verify_within_bound(
-    path: &PathBuf,
-    data: &[Vec<RankFieldData>],
-    eb_rel: f64,
-    lossy: bool,
-) {
+fn verify_within_bound(path: &PathBuf, data: &[Vec<RankFieldData>], eb_rel: f64, lossy: bool) {
     let reader = h5lite::H5Reader::open(path).unwrap();
     let nranks = data.len();
     for f in 0..data[0].len() {
@@ -70,9 +64,9 @@ fn verify_within_bound(
         for (r, rank_fields) in data.iter().enumerate() {
             let orig = &rank_fields[f].data;
             let chunk = &stored[r * part_len..(r + 1) * part_len];
-            let (mn, mx) = orig.iter().fold((f32::MAX, f32::MIN), |(a, b), &v| {
-                (a.min(v), b.max(v))
-            });
+            let (mn, mx) = orig
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(a, b), &v| (a.min(v), b.max(v)));
             let eb = if lossy {
                 (eb_rel * f64::from(mx - mn)).max(1e-30)
             } else {
@@ -91,44 +85,47 @@ fn verify_within_bound(
 #[test]
 fn overlap_reorder_end_to_end() {
     let (data, _) = nyx_rank_data(16, 8);
-    let path = tmp("reorder");
+    let guard = tmp("reorder");
+    let path = guard.path().to_path_buf();
     let res = run_real(&data, &config(Method::OverlapReorder, path.clone())).unwrap();
     assert!(res.total_time > 0.0);
     assert!(res.compressed_bytes > 0);
     assert!(res.compressed_bytes < res.raw_bytes);
     verify_within_bound(&path, &data, 1e-3, true);
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn overlap_end_to_end() {
     let (data, _) = nyx_rank_data(16, 8);
-    let path = tmp("overlap");
+    let guard = tmp("overlap");
+    let path = guard.path().to_path_buf();
     let res = run_real(&data, &config(Method::Overlap, path.clone())).unwrap();
-    assert!(res.breakdown.predict > 0.0, "prediction phase must be timed");
+    assert!(
+        res.breakdown.predict > 0.0,
+        "prediction phase must be timed"
+    );
     verify_within_bound(&path, &data, 1e-3, true);
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn filter_collective_end_to_end() {
     let (data, _) = nyx_rank_data(16, 4);
-    let path = tmp("filter");
+    let guard = tmp("filter");
+    let path = guard.path().to_path_buf();
     let res = run_real(&data, &config(Method::FilterCollective, path.clone())).unwrap();
     assert!(res.breakdown.compress > 0.0);
     assert_eq!(res.n_overflow, 0, "exact sizes never overflow");
     verify_within_bound(&path, &data, 1e-3, true);
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn no_compression_end_to_end() {
     let (data, _) = nyx_rank_data(16, 4);
-    let path = tmp("nocomp");
+    let guard = tmp("nocomp");
+    let path = guard.path().to_path_buf();
     let res = run_real(&data, &config(Method::NoCompression, path.clone())).unwrap();
     assert_eq!(res.compressed_bytes, res.raw_bytes);
     verify_within_bound(&path, &data, 0.0, false);
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
@@ -137,10 +134,14 @@ fn tight_reservation_forces_overflow_and_data_survives() {
     // model under-predicts sizes, and rspace = 1.0 leaves no slack →
     // partitions overflow; the file must still decode (Fig. 8 path).
     let (data, _) = nyx_rank_data(16, 8);
-    let path = tmp("overflow");
+    let guard = tmp("overflow");
+    let path = guard.path().to_path_buf();
     let mut cfg = config(Method::Overlap, path.clone());
     cfg.policy = ExtraSpacePolicy::new(1.0);
-    cfg.models.gain = ratiomodel::LosslessGain { floor: 0.02, half_run: 0.05 };
+    cfg.models.gain = ratiomodel::LosslessGain {
+        floor: 0.02,
+        half_run: 0.05,
+    };
     let res = run_real(&data, &cfg).unwrap();
     assert!(
         res.n_overflow > 0,
@@ -149,7 +150,6 @@ fn tight_reservation_forces_overflow_and_data_survives() {
     );
     assert!(res.overflow_bytes > 0);
     verify_within_bound(&path, &data, 1e-3, true);
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
@@ -157,30 +157,31 @@ fn methods_agree_on_compressed_bytes() {
     // Filter and overlap paths compress identical data with identical
     // configs; totals must match exactly (deterministic compressor).
     let (data, _) = nyx_rank_data(16, 4);
-    let p1 = tmp("agree1");
-    let p2 = tmp("agree2");
+    let guard_p1 = tmp("agree1");
+    let p1 = guard_p1.path().to_path_buf();
+    let guard_p2 = tmp("agree2");
+    let p2 = guard_p2.path().to_path_buf();
     let r1 = run_real(&data, &config(Method::FilterCollective, p1.clone())).unwrap();
     let r2 = run_real(&data, &config(Method::OverlapReorder, p2.clone())).unwrap();
     assert_eq!(r1.compressed_bytes, r2.compressed_bytes);
-    std::fs::remove_file(&p1).unwrap();
-    std::fs::remove_file(&p2).unwrap();
 }
 
 #[test]
 fn run_results_have_consistent_storage_accounting() {
     let (data, _) = nyx_rank_data(16, 4);
-    let path = tmp("storage");
+    let guard = tmp("storage");
+    let path = guard.path().to_path_buf();
     let res: RunResult = run_real(&data, &config(Method::Overlap, path.clone())).unwrap();
     // File contains at least the compressed in-slot bytes plus header.
     assert!(res.file_bytes > res.compressed_bytes.saturating_sub(res.overflow_bytes));
     assert!(res.effective_ratio() <= res.ideal_ratio());
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn rejects_mismatched_inputs() {
     let (mut data, _) = nyx_rank_data(16, 4);
     data[1].pop(); // rank 1 has one fewer field
-    let path = tmp("reject");
+    let guard = tmp("reject");
+    let path = guard.path().to_path_buf();
     assert!(run_real(&data, &config(Method::Overlap, path)).is_err());
 }

@@ -14,7 +14,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum Op {
-    Write { file: SharedFile, offset: u64, data: Vec<u8>, throttle: Option<Arc<Throttle>> },
+    Write {
+        file: SharedFile,
+        offset: u64,
+        data: Vec<u8>,
+        throttle: Option<Arc<Throttle>>,
+    },
     Shutdown,
 }
 
@@ -49,7 +54,12 @@ impl EventSet {
                     while let Ok(op) = rx.recv() {
                         match op {
                             Op::Shutdown => break,
-                            Op::Write { file, offset, data, throttle } => {
+                            Op::Write {
+                                file,
+                                offset,
+                                data,
+                                throttle,
+                            } => {
                                 if let Some(t) = &throttle {
                                     t.acquire(data.len() as u64);
                                 }
@@ -67,7 +77,11 @@ impl EventSet {
                 })
             })
             .collect();
-        EventSet { tx, pending, workers }
+        EventSet {
+            tx,
+            pending,
+            workers,
+        }
     }
 
     /// Enqueue an asynchronous positioned write. Returns immediately.
@@ -80,7 +94,12 @@ impl EventSet {
     ) {
         *self.pending.count.lock() += 1;
         self.tx
-            .send(Op::Write { file: file.clone(), offset, data, throttle })
+            .send(Op::Write {
+                file: file.clone(),
+                offset,
+                data,
+                throttle,
+            })
             .expect("event set workers gone");
     }
 
@@ -100,7 +119,10 @@ impl EventSet {
         if errs.is_empty() {
             Ok(())
         } else {
-            Err(H5Error::Filter(format!("async write failures: {}", errs.join("; "))))
+            Err(H5Error::Filter(format!(
+                "async write failures: {}",
+                errs.join("; ")
+            )))
         }
     }
 }
@@ -165,7 +187,10 @@ mod tests {
         assert!(enqueue_time.as_millis() < 50, "enqueue must not block");
         es.wait().unwrap();
         let total = start.elapsed().as_secs_f64();
-        assert!(total > 0.1, "throttled write should take ≥ 0.15 s, took {total}");
+        assert!(
+            total > 0.1,
+            "throttled write should take ≥ 0.15 s, took {total}"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

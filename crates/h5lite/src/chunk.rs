@@ -45,7 +45,11 @@ pub fn tile_geom(dims: &[u64], chunk_dims: &[u64], chunk_idx: u64) -> Result<Til
     }
     let d = pad3(dims);
     let c = pad3(chunk_dims);
-    let grid = [d[0].div_ceil(c[0]), d[1].div_ceil(c[1]), d[2].div_ceil(c[2])];
+    let grid = [
+        d[0].div_ceil(c[0]),
+        d[1].div_ceil(c[1]),
+        d[2].div_ceil(c[2]),
+    ];
     let total = grid[0] * grid[1] * grid[2];
     if chunk_idx >= total {
         return Err(H5Error::Corrupt("chunk index out of grid"));
@@ -74,7 +78,10 @@ pub fn gather_tile(
     let g = tile_geom(dims, chunk_dims, chunk_idx)?;
     let expected = d.iter().product::<u64>() as usize * elem;
     if data.len() != expected {
-        return Err(H5Error::ShapeMismatch { expected: expected as u64, actual: data.len() as u64 });
+        return Err(H5Error::ShapeMismatch {
+            expected: expected as u64,
+            actual: data.len() as u64,
+        });
     }
     let row_bytes = g.extent[2] as usize * elem;
     let mut out = Vec::with_capacity(g.len() as usize * elem);
@@ -102,7 +109,10 @@ pub fn scatter_tile(
     let g = tile_geom(dims, chunk_dims, chunk_idx)?;
     let expected = d.iter().product::<u64>() as usize * elem;
     if out.len() != expected {
-        return Err(H5Error::ShapeMismatch { expected: expected as u64, actual: out.len() as u64 });
+        return Err(H5Error::ShapeMismatch {
+            expected: expected as u64,
+            actual: out.len() as u64,
+        });
     }
     let tile_expected = g.len() as usize * elem;
     if tile.len() != tile_expected {

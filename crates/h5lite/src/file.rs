@@ -190,7 +190,10 @@ impl H5File {
             )
         };
         if data.len() as u64 != expected {
-            return Err(H5Error::ShapeMismatch { expected, actual: data.len() as u64 });
+            return Err(H5Error::ShapeMismatch {
+                expected,
+                actual: data.len() as u64,
+            });
         }
         match chunk_dims {
             None => {
@@ -208,11 +211,7 @@ impl H5File {
                 )?;
             }
             Some(cd) => {
-                let n_chunks: u64 = dims
-                    .iter()
-                    .zip(&cd)
-                    .map(|(&d, &c)| d.div_ceil(c))
-                    .product();
+                let n_chunks: u64 = dims.iter().zip(&cd).map(|(&d, &c)| d.div_ceil(c)).product();
                 for c in 0..n_chunks {
                     let tile = gather_tile(data, &dims, elem, &cd, c)?;
                     let raw = tile.len() as u64;
@@ -221,7 +220,12 @@ impl H5File {
                     self.inner.file.write_at(offset, &stored)?;
                     self.record_chunk(
                         id,
-                        ChunkInfo { index: c, offset, stored: stored.len() as u64, raw },
+                        ChunkInfo {
+                            index: c,
+                            offset,
+                            stored: stored.len() as u64,
+                            raw,
+                        },
                     )?;
                 }
             }
@@ -244,7 +248,12 @@ impl H5File {
         self.inner.file.write_at(offset, stored)?;
         self.record_chunk(
             id,
-            ChunkInfo { index: chunk_index, offset, stored: stored.len() as u64, raw: raw_len },
+            ChunkInfo {
+                index: chunk_index,
+                offset,
+                stored: stored.len() as u64,
+                raw: raw_len,
+            },
         )
     }
 
@@ -306,7 +315,8 @@ impl H5Reader {
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let file = SharedFile::open(path)?;
         let mut sb = [0u8; SUPERBLOCK as usize];
-        file.read_at(0, &mut sb).map_err(|_| H5Error::Truncated("superblock"))?;
+        file.read_at(0, &mut sb)
+            .map_err(|_| H5Error::Truncated("superblock"))?;
         let magic = u32::from_le_bytes(sb[0..4].try_into().unwrap());
         if magic != MAGIC {
             return Err(H5Error::BadMagic);
@@ -324,7 +334,11 @@ impl H5Reader {
         let mut table = vec![0u8; table_len as usize];
         file.read_at(table_offset, &mut table)?;
         let datasets = deserialize_table(&table)?;
-        Ok(H5Reader { file, datasets, registry: FilterRegistry::default() })
+        Ok(H5Reader {
+            file,
+            datasets,
+            registry: FilterRegistry::default(),
+        })
     }
 
     /// Dataset names in creation order.
@@ -369,7 +383,10 @@ impl H5Reader {
                 for c in &d.chunks {
                     let mut stored = vec![0u8; c.stored as usize];
                     self.file.read_at(c.offset, &mut stored)?;
-                    by_index.entry(c.index).or_default().extend_from_slice(&stored);
+                    by_index
+                        .entry(c.index)
+                        .or_default()
+                        .extend_from_slice(&stored);
                 }
                 if by_index.len() as u64 != d.n_chunks() {
                     return Err(H5Error::Corrupt("incomplete chunk set"));
@@ -449,9 +466,7 @@ mod tests {
         let f = H5File::create(&path).unwrap();
         let data: Vec<f32> = (0..4 * 6 * 8).map(|i| (i as f32).sin()).collect();
         let id = f
-            .create_dataset(
-                DatasetSpec::new("grid/v", Dtype::F32, &[4, 6, 8]).chunked(&[2, 3, 4]),
-            )
+            .create_dataset(DatasetSpec::new("grid/v", Dtype::F32, &[4, 6, 8]).chunked(&[2, 3, 4]))
             .unwrap();
         f.write_full(id, &f32_bytes(&data)).unwrap();
         f.close().unwrap();
@@ -467,13 +482,20 @@ mod tests {
         let path = tmp("szfilt");
         let f = H5File::create(&path).unwrap();
         let data: Vec<f32> = (0..16 * 16 * 16).map(|i| (i as f32 * 0.01).cos()).collect();
-        let params =
-            SzFilterParams { absolute: true, bound: 1e-3, dims: vec![8, 16, 16] }.to_bytes();
+        let params = SzFilterParams {
+            absolute: true,
+            bound: 1e-3,
+            dims: vec![8, 16, 16],
+        }
+        .to_bytes();
         let id = f
             .create_dataset(
                 DatasetSpec::new("t", Dtype::F32, &[16, 16, 16])
                     .chunked(&[8, 16, 16])
-                    .with_filter(FilterSpec { id: SZLITE_FILTER_ID, params }),
+                    .with_filter(FilterSpec {
+                        id: SZLITE_FILTER_ID,
+                        params,
+                    }),
             )
             .unwrap();
         f.write_full(id, &f32_bytes(&data)).unwrap();
@@ -481,7 +503,10 @@ mod tests {
 
         let r = H5Reader::open(&path).unwrap();
         let meta = r.meta("t").unwrap();
-        assert!(meta.stored_bytes() < meta.raw_bytes(), "filter should shrink data");
+        assert!(
+            meta.stored_bytes() < meta.raw_bytes(),
+            "filter should shrink data"
+        );
         let restored = r.read_f32("t").unwrap();
         for (a, b) in data.iter().zip(&restored) {
             assert!((a - b).abs() <= 1e-3);
@@ -493,7 +518,9 @@ mod tests {
     fn attributes_roundtrip() {
         let path = tmp("attrs");
         let f = H5File::create(&path).unwrap();
-        let id = f.create_dataset(DatasetSpec::new("x", Dtype::U8, &[4])).unwrap();
+        let id = f
+            .create_dataset(DatasetSpec::new("x", Dtype::U8, &[4]))
+            .unwrap();
         f.write_full(id, &[1, 2, 3, 4]).unwrap();
         f.set_attr(id, "eb", AttrValue::F64(0.5)).unwrap();
         f.set_attr(id, "step", AttrValue::I64(7)).unwrap();
@@ -511,7 +538,8 @@ mod tests {
     fn duplicate_dataset_rejected() {
         let path = tmp("dup");
         let f = H5File::create(&path).unwrap();
-        f.create_dataset(DatasetSpec::new("a", Dtype::U8, &[1])).unwrap();
+        f.create_dataset(DatasetSpec::new("a", Dtype::U8, &[1]))
+            .unwrap();
         assert!(matches!(
             f.create_dataset(DatasetSpec::new("a", Dtype::U8, &[1])),
             Err(H5Error::DuplicateDataset(_))
@@ -525,7 +553,9 @@ mod tests {
         let f = H5File::create(&path).unwrap();
         f.close().unwrap();
         assert!(f.close().is_err());
-        assert!(f.create_dataset(DatasetSpec::new("a", Dtype::U8, &[1])).is_err());
+        assert!(f
+            .create_dataset(DatasetSpec::new("a", Dtype::U8, &[1]))
+            .is_err());
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -548,8 +578,7 @@ mod tests {
             for c in 0..n_chunks {
                 let f = f.clone();
                 s.spawn(move || {
-                    let vals: Vec<f32> =
-                        (0..chunk_elems).map(|i| (c * 1000 + i) as f32).collect();
+                    let vals: Vec<f32> = (0..chunk_elems).map(|i| (c * 1000 + i) as f32).collect();
                     let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
                     f.write_chunk_at(id, c, base + c * chunk_bytes, &bytes, chunk_bytes)
                         .unwrap();
@@ -575,8 +604,10 @@ mod tests {
         let data = vec![42u8; 8192];
         let id = f
             .create_dataset(
-                DatasetSpec::new("z", Dtype::U8, &[8192])
-                    .with_filter(FilterSpec { id: LZSS_FILTER_ID, params: vec![] }),
+                DatasetSpec::new("z", Dtype::U8, &[8192]).with_filter(FilterSpec {
+                    id: LZSS_FILTER_ID,
+                    params: vec![],
+                }),
             )
             .unwrap();
         f.write_full(id, &data).unwrap();
@@ -599,7 +630,9 @@ mod tests {
     fn shape_mismatch_on_write() {
         let path = tmp("shape");
         let f = H5File::create(&path).unwrap();
-        let id = f.create_dataset(DatasetSpec::new("s", Dtype::F32, &[10])).unwrap();
+        let id = f
+            .create_dataset(DatasetSpec::new("s", Dtype::F32, &[10]))
+            .unwrap();
         assert!(matches!(
             f.write_full(id, &[0u8; 10]),
             Err(H5Error::ShapeMismatch { .. })

@@ -74,7 +74,11 @@ impl SzFilterParams {
                 get_varint(buf, &mut pos).map_err(|_| H5Error::Truncated("sz dims"))? as usize,
             );
         }
-        Ok(SzFilterParams { absolute, bound, dims })
+        Ok(SzFilterParams {
+            absolute,
+            bound,
+            dims,
+        })
     }
 
     fn config(&self) -> Config {
@@ -141,7 +145,9 @@ impl Filter for ShuffleFilter {
     fn encode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
         let es = Self::elem_size(params)?;
         if !data.len().is_multiple_of(es) {
-            return Err(H5Error::Filter("shuffle: length not multiple of element".into()));
+            return Err(H5Error::Filter(
+                "shuffle: length not multiple of element".into(),
+            ));
         }
         let n = data.len() / es;
         let mut out = vec![0u8; data.len()];
@@ -156,7 +162,9 @@ impl Filter for ShuffleFilter {
     fn decode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
         let es = Self::elem_size(params)?;
         if !data.len().is_multiple_of(es) {
-            return Err(H5Error::Filter("shuffle: length not multiple of element".into()));
+            return Err(H5Error::Filter(
+                "shuffle: length not multiple of element".into(),
+            ));
         }
         let n = data.len() / es;
         let mut out = vec![0u8; data.len()];
@@ -194,7 +202,9 @@ pub struct FilterRegistry {
 
 impl Default for FilterRegistry {
     fn default() -> Self {
-        let mut r = FilterRegistry { filters: HashMap::new() };
+        let mut r = FilterRegistry {
+            filters: HashMap::new(),
+        };
         r.register(Arc::new(SzliteFilter));
         r.register(Arc::new(ShuffleFilter));
         r.register(Arc::new(LzssFilter));
@@ -242,7 +252,11 @@ mod tests {
 
     #[test]
     fn sz_params_roundtrip() {
-        let p = SzFilterParams { absolute: true, bound: 1e-3, dims: vec![4, 5, 6] };
+        let p = SzFilterParams {
+            absolute: true,
+            bound: 1e-3,
+            dims: vec![4, 5, 6],
+        };
         assert_eq!(SzFilterParams::from_bytes(&p.to_bytes()).unwrap(), p);
     }
 
@@ -250,8 +264,12 @@ mod tests {
     fn sz_filter_roundtrip_within_bound() {
         let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
         let bytes = f32s_to_bytes(&data);
-        let params =
-            SzFilterParams { absolute: true, bound: 1e-3, dims: vec![16, 16, 16] }.to_bytes();
+        let params = SzFilterParams {
+            absolute: true,
+            bound: 1e-3,
+            dims: vec![16, 16, 16],
+        }
+        .to_bytes();
         let f = SzliteFilter;
         let enc = f.encode(&bytes, &params).unwrap();
         assert!(enc.len() < bytes.len());
@@ -287,8 +305,14 @@ mod tests {
         let reg = FilterRegistry::default();
         let data: Vec<u8> = (0..255u8).cycle().take(4096).collect();
         let specs = vec![
-            FilterSpec { id: SHUFFLE_FILTER_ID, params: vec![4] },
-            FilterSpec { id: LZSS_FILTER_ID, params: vec![] },
+            FilterSpec {
+                id: SHUFFLE_FILTER_ID,
+                params: vec![4],
+            },
+            FilterSpec {
+                id: LZSS_FILTER_ID,
+                params: vec![],
+            },
         ];
         let enc = reg.apply(&specs, data.clone()).unwrap();
         let dec = reg.invert(&specs, enc).unwrap();
@@ -298,7 +322,10 @@ mod tests {
     #[test]
     fn unknown_filter_rejected() {
         let reg = FilterRegistry::default();
-        let specs = vec![FilterSpec { id: 999, params: vec![] }];
+        let specs = vec![FilterSpec {
+            id: 999,
+            params: vec![],
+        }];
         assert!(matches!(
             reg.apply(&specs, vec![1, 2, 3]),
             Err(H5Error::UnknownFilter(999))
@@ -308,7 +335,12 @@ mod tests {
     #[test]
     fn sz_filter_rejects_unaligned() {
         let f = SzliteFilter;
-        let params = SzFilterParams { absolute: true, bound: 0.1, dims: vec![3] }.to_bytes();
+        let params = SzFilterParams {
+            absolute: true,
+            bound: 0.1,
+            dims: vec![3],
+        }
+        .to_bytes();
         assert!(f.encode(&[1, 2, 3], &params).is_err());
     }
 }

@@ -11,8 +11,10 @@
 //! The superblock is rewritten on close to point at the final table,
 //! like HDF5's end-of-file metadata flush.
 
-use szlite::stream::{get_f64, get_u32, get_u64, get_varint, put_f64, put_u32, put_u64, put_varint};
 use crate::error::{H5Error, Result};
+use szlite::stream::{
+    get_f64, get_u32, get_u64, get_varint, put_f64, put_u32, put_u64, put_varint,
+};
 
 /// Element type of a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,7 +159,9 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 
 fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
     let len = get_varint(buf, pos)? as usize;
-    let end = pos.checked_add(len).ok_or(H5Error::Corrupt("string length"))?;
+    let end = pos
+        .checked_add(len)
+        .ok_or(H5Error::Corrupt("string length"))?;
     let bytes = buf.get(*pos..end).ok_or(H5Error::Truncated("string"))?;
     *pos = end;
     String::from_utf8(bytes.to_vec()).map_err(|_| H5Error::Corrupt("utf8"))
@@ -261,9 +265,13 @@ pub fn deserialize_table(buf: &[u8]) -> Result<Vec<DatasetMeta>> {
         for _ in 0..nf {
             let id = get_u32(buf, &mut pos).map_err(|_| H5Error::Truncated("filter id"))?;
             let plen = get_varint(buf, &mut pos)? as usize;
-            let end = pos.checked_add(plen).ok_or(H5Error::Corrupt("filter params"))?;
-            let params =
-                buf.get(pos..end).ok_or(H5Error::Truncated("filter params"))?.to_vec();
+            let end = pos
+                .checked_add(plen)
+                .ok_or(H5Error::Corrupt("filter params"))?;
+            let params = buf
+                .get(pos..end)
+                .ok_or(H5Error::Truncated("filter params"))?
+                .to_vec();
             pos = end;
             filters.push(FilterSpec { id, params });
         }
@@ -274,7 +282,12 @@ pub fn deserialize_table(buf: &[u8]) -> Result<Vec<DatasetMeta>> {
             let offset = get_u64(buf, &mut pos).map_err(|_| H5Error::Truncated("chunk"))?;
             let stored = get_varint(buf, &mut pos)?;
             let raw = get_varint(buf, &mut pos)?;
-            chunks.push(ChunkInfo { index, offset, stored, raw });
+            chunks.push(ChunkInfo {
+                index,
+                offset,
+                stored,
+                raw,
+            });
         }
         let na = get_varint(buf, &mut pos)? as usize;
         let mut attrs = Vec::with_capacity(na);
@@ -283,7 +296,9 @@ pub fn deserialize_table(buf: &[u8]) -> Result<Vec<DatasetMeta>> {
             let tag = *buf.get(pos).ok_or(H5Error::Truncated("attr tag"))?;
             pos += 1;
             let val = match tag {
-                0 => AttrValue::F64(get_f64(buf, &mut pos).map_err(|_| H5Error::Truncated("attr"))?),
+                0 => {
+                    AttrValue::F64(get_f64(buf, &mut pos).map_err(|_| H5Error::Truncated("attr"))?)
+                }
                 1 => AttrValue::I64(
                     get_u64(buf, &mut pos).map_err(|_| H5Error::Truncated("attr"))? as i64,
                 ),
@@ -292,7 +307,15 @@ pub fn deserialize_table(buf: &[u8]) -> Result<Vec<DatasetMeta>> {
             };
             attrs.push((aname, val));
         }
-        out.push(DatasetMeta { name, dtype, dims, chunk_dims, filters, chunks, attrs });
+        out.push(DatasetMeta {
+            name,
+            dtype,
+            dims,
+            chunk_dims,
+            filters,
+            chunks,
+            attrs,
+        });
     }
     Ok(out)
 }
@@ -307,10 +330,23 @@ mod tests {
             dtype: Dtype::F32,
             dims: vec![64, 64, 64],
             chunk_dims: Some(vec![32, 32, 32]),
-            filters: vec![FilterSpec { id: 32017, params: vec![1, 2, 3] }],
+            filters: vec![FilterSpec {
+                id: 32017,
+                params: vec![1, 2, 3],
+            }],
             chunks: vec![
-                ChunkInfo { index: 0, offset: 64, stored: 100, raw: 131072 },
-                ChunkInfo { index: 1, offset: 164, stored: 90, raw: 131072 },
+                ChunkInfo {
+                    index: 0,
+                    offset: 64,
+                    stored: 100,
+                    raw: 131072,
+                },
+                ChunkInfo {
+                    index: 1,
+                    offset: 164,
+                    stored: 90,
+                    raw: 131072,
+                },
             ],
             attrs: vec![
                 ("error_bound".into(), AttrValue::F64(1e-3)),
@@ -322,15 +358,23 @@ mod tests {
 
     #[test]
     fn roundtrip_table() {
-        let metas = vec![sample_meta(), DatasetMeta {
-            name: "raw".into(),
-            dtype: Dtype::U8,
-            dims: vec![10],
-            chunk_dims: None,
-            filters: vec![],
-            chunks: vec![ChunkInfo { index: 0, offset: 0, stored: 10, raw: 10 }],
-            attrs: vec![],
-        }];
+        let metas = vec![
+            sample_meta(),
+            DatasetMeta {
+                name: "raw".into(),
+                dtype: Dtype::U8,
+                dims: vec![10],
+                chunk_dims: None,
+                filters: vec![],
+                chunks: vec![ChunkInfo {
+                    index: 0,
+                    offset: 0,
+                    stored: 10,
+                    raw: 10,
+                }],
+                attrs: vec![],
+            },
+        ];
         let bytes = serialize_table(&metas);
         let parsed = deserialize_table(&bytes).unwrap();
         assert_eq!(parsed, metas);

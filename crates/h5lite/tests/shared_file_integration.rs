@@ -4,15 +4,18 @@
 
 use h5lite::{DatasetSpec, Dtype, EventSet, H5File, H5Reader};
 use pfsim::SharedFile;
-use std::path::PathBuf;
+use testutil::TempPath;
 
-fn tmp(name: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("h5lite-int-{}-{}.h5l", std::process::id(), name))
+/// RAII temp path: the container file is removed when the guard drops,
+/// even if an assertion fails mid-test.
+fn tmp(name: &str) -> TempPath {
+    TempPath::new(&format!("h5lite-int-{name}"), "h5l")
 }
 
 #[test]
 fn from_shared_wraps_fresh_file() {
-    let path = tmp("fresh");
+    let guard = tmp("fresh");
+    let path = guard.path().to_path_buf();
     let shared = SharedFile::create(&path).unwrap();
     let file = H5File::from_shared(shared).unwrap();
     assert!(file.tail() >= h5lite::SUPERBLOCK);
@@ -23,7 +26,6 @@ fn from_shared_wraps_fresh_file() {
     file.close().unwrap();
     let r = H5Reader::open(&path).unwrap();
     assert_eq!(r.read_raw("x").unwrap(), vec![7, 8, 9]);
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
@@ -31,14 +33,14 @@ fn async_chunk_writes_then_close() {
     // Chunks written via the event set at pre-reserved offsets, with
     // chunk records added as each write is enqueued (the overlap
     // engine's pattern), must produce a valid readable file.
-    let path = tmp("async");
+    let guard = tmp("async");
+    let path = guard.path().to_path_buf();
     let file = H5File::create(&path).unwrap();
     let n_chunks = 4u64;
     let chunk_elems = 32u64;
     let id = file
         .create_dataset(
-            DatasetSpec::new("d", Dtype::F32, &[n_chunks * chunk_elems])
-                .chunked(&[chunk_elems]),
+            DatasetSpec::new("d", Dtype::F32, &[n_chunks * chunk_elems]).chunked(&[chunk_elems]),
         )
         .unwrap();
     let es = EventSet::new(2);
@@ -69,12 +71,12 @@ fn async_chunk_writes_then_close() {
             assert_eq!(vals[(c * chunk_elems + i) as usize], (c * 100 + i) as f32);
         }
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn reader_rejects_incomplete_chunk_set() {
-    let path = tmp("incomplete");
+    let guard = tmp("incomplete");
+    let path = guard.path().to_path_buf();
     let file = H5File::create(&path).unwrap();
     let id = file
         .create_dataset(DatasetSpec::new("d", Dtype::U8, &[8]).chunked(&[4]))
@@ -82,33 +84,56 @@ fn reader_rejects_incomplete_chunk_set() {
     // Record only one of the two chunks.
     let off = file.reserve(4);
     file.shared_file().write_at(off, &[1, 2, 3, 4]).unwrap();
-    file.record_chunk(id, h5lite::ChunkInfo { index: 0, offset: off, stored: 4, raw: 4 })
-        .unwrap();
+    file.record_chunk(
+        id,
+        h5lite::ChunkInfo {
+            index: 0,
+            offset: off,
+            stored: 4,
+            raw: 4,
+        },
+    )
+    .unwrap();
     file.close().unwrap();
     let r = H5Reader::open(&path).unwrap();
     assert!(r.read_raw("d").is_err());
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn two_extent_chunk_concatenates_in_order() {
     // The overflow layout: one chunk stored as an in-slot prefix plus
     // an appended tail; the reader must concatenate in record order.
-    let path = tmp("twoextent");
+    let guard = tmp("twoextent");
+    let path = guard.path().to_path_buf();
     let file = H5File::create(&path).unwrap();
     let id = file
         .create_dataset(DatasetSpec::new("d", Dtype::U8, &[6]).chunked(&[6]))
         .unwrap();
     let a = file.reserve(4);
     file.shared_file().write_at(a, &[10, 11, 12, 13]).unwrap();
-    file.record_chunk(id, h5lite::ChunkInfo { index: 0, offset: a, stored: 4, raw: 6 })
-        .unwrap();
+    file.record_chunk(
+        id,
+        h5lite::ChunkInfo {
+            index: 0,
+            offset: a,
+            stored: 4,
+            raw: 6,
+        },
+    )
+    .unwrap();
     let b = file.reserve(2);
     file.shared_file().write_at(b, &[14, 15]).unwrap();
-    file.record_chunk(id, h5lite::ChunkInfo { index: 0, offset: b, stored: 2, raw: 0 })
-        .unwrap();
+    file.record_chunk(
+        id,
+        h5lite::ChunkInfo {
+            index: 0,
+            offset: b,
+            stored: 2,
+            raw: 0,
+        },
+    )
+    .unwrap();
     file.close().unwrap();
     let r = H5Reader::open(&path).unwrap();
     assert_eq!(r.read_raw("d").unwrap(), vec![10, 11, 12, 13, 14, 15]);
-    std::fs::remove_file(&path).unwrap();
 }

@@ -102,7 +102,8 @@ impl BandwidthModel {
     /// The "stable write throughput" `Cthr` of the paper's Eq. (2):
     /// the large-request per-process rate under `nprocs`-way contention.
     pub fn stable_cthr(&self, nprocs: usize) -> f64 {
-        self.per_proc_peak.min(self.aggregate_cap / nprocs.max(1) as f64)
+        self.per_proc_peak
+            .min(self.aggregate_cap / nprocs.max(1) as f64)
     }
 }
 

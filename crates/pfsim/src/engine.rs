@@ -80,7 +80,15 @@ pub fn simulate(ranks: &[RankPipeline], model: &BandwidthModel) -> SimOutcome {
     let n = ranks.len();
     let mut tasks: Vec<Vec<TaskTimes>> = ranks
         .iter()
-        .map(|r| vec![TaskTimes { compute_done: 0.0, write_done: 0.0 }; r.tasks.len()])
+        .map(|r| {
+            vec![
+                TaskTimes {
+                    compute_done: 0.0,
+                    write_done: 0.0
+                };
+                r.tasks.len()
+            ]
+        })
         .collect();
 
     // Per-rank compute cursor: next task index to compute and the time
@@ -227,7 +235,11 @@ pub fn simulate(ranks: &[RankPipeline], model: &BandwidthModel) -> SimOutcome {
         })
         .collect();
     let makespan = rank_finish.iter().cloned().fold(0.0, f64::max);
-    SimOutcome { tasks, rank_finish, makespan }
+    SimOutcome {
+        tasks,
+        rank_finish,
+        makespan,
+    }
 }
 
 /// Simulate a single round of fully concurrent writes (all `sizes`
@@ -238,7 +250,10 @@ pub fn simulate_concurrent_writes(sizes: &[f64], model: &BandwidthModel) -> (Vec
         .iter()
         .map(|&s| RankPipeline {
             release: 0.0,
-            tasks: vec![PipelineTask { compute: 0.0, write_bytes: s }],
+            tasks: vec![PipelineTask {
+                compute: 0.0,
+                write_bytes: s,
+            }],
         })
         .collect();
     let out = simulate(&ranks, model);
@@ -272,13 +287,21 @@ mod tests {
     fn single_rank_single_task() {
         let ranks = vec![RankPipeline {
             release: 0.0,
-            tasks: vec![PipelineTask { compute: 1.0, write_bytes: 50e6 }],
+            tasks: vec![PipelineTask {
+                compute: 1.0,
+                write_bytes: 50e6,
+            }],
         }];
         let out = simulate(&ranks, &m());
         let t = out.tasks[0][0];
         assert!((t.compute_done - 1.0).abs() < 1e-9);
         let expect = 1.0 + m().solo_write_time(50e6);
-        assert!((t.write_done - expect).abs() < 1e-3, "{} vs {}", t.write_done, expect);
+        assert!(
+            (t.write_done - expect).abs() < 1e-3,
+            "{} vs {}",
+            t.write_done,
+            expect
+        );
     }
 
     #[test]
@@ -287,13 +310,24 @@ mod tests {
         let ranks = vec![RankPipeline {
             release: 0.0,
             tasks: vec![
-                PipelineTask { compute: 1.0, write_bytes: 100e6 },
-                PipelineTask { compute: 1.0, write_bytes: 100e6 },
+                PipelineTask {
+                    compute: 1.0,
+                    write_bytes: 100e6,
+                },
+                PipelineTask {
+                    compute: 1.0,
+                    write_bytes: 100e6,
+                },
             ],
         }];
         let out = simulate(&ranks, &m());
         let serial = 2.0 * (1.0 + m().solo_write_time(100e6));
-        assert!(out.makespan < serial - 0.5, "makespan {} serial {}", out.makespan, serial);
+        assert!(
+            out.makespan < serial - 0.5,
+            "makespan {} serial {}",
+            out.makespan,
+            serial
+        );
         // Write 1 cannot start before write 0 finished AND compute 1 done.
         let t0 = out.tasks[0][0];
         let t1 = out.tasks[0][1];
@@ -306,7 +340,10 @@ mod tests {
         let solo = simulate(
             &[RankPipeline {
                 release: 0.0,
-                tasks: vec![PipelineTask { compute: 0.0, write_bytes: 200e6 }],
+                tasks: vec![PipelineTask {
+                    compute: 0.0,
+                    write_bytes: 200e6,
+                }],
             }],
             &m(),
         )
@@ -314,7 +351,10 @@ mod tests {
         let eight: Vec<RankPipeline> = (0..8)
             .map(|_| RankPipeline {
                 release: 0.0,
-                tasks: vec![PipelineTask { compute: 0.0, write_bytes: 200e6 }],
+                tasks: vec![PipelineTask {
+                    compute: 0.0,
+                    write_bytes: 200e6,
+                }],
             })
             .collect();
         let contended = simulate(&eight, &m()).makespan;
@@ -326,7 +366,10 @@ mod tests {
     fn release_time_delays_start() {
         let ranks = vec![RankPipeline {
             release: 5.0,
-            tasks: vec![PipelineTask { compute: 1.0, write_bytes: 0.0 }],
+            tasks: vec![PipelineTask {
+                compute: 1.0,
+                write_bytes: 0.0,
+            }],
         }];
         let out = simulate(&ranks, &m());
         assert!((out.tasks[0][0].compute_done - 6.0).abs() < 1e-9);
@@ -337,8 +380,14 @@ mod tests {
         let ranks = vec![RankPipeline {
             release: 0.0,
             tasks: vec![
-                PipelineTask { compute: 0.5, write_bytes: 0.0 },
-                PipelineTask { compute: 0.5, write_bytes: 1e6 },
+                PipelineTask {
+                    compute: 0.5,
+                    write_bytes: 0.0,
+                },
+                PipelineTask {
+                    compute: 0.5,
+                    write_bytes: 1e6,
+                },
             ],
         }];
         let out = simulate(&ranks, &m());
@@ -375,7 +424,10 @@ mod tests {
         let ranks: Vec<RankPipeline> = (0..4)
             .map(|r| RankPipeline {
                 release: 0.0,
-                tasks: vec![PipelineTask { compute: r as f64, write_bytes: 5e6 }],
+                tasks: vec![PipelineTask {
+                    compute: r as f64,
+                    write_bytes: 5e6,
+                }],
             })
             .collect();
         let out = simulate(&ranks, &m());

@@ -54,7 +54,10 @@ impl SharedFile {
 
     /// Open an existing file read/write; tail starts at its length.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
         let len = file.metadata()?.len();
         Ok(SharedFile {
             inner: Arc::new(Inner {

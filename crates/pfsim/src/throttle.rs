@@ -34,7 +34,10 @@ impl Throttle {
             rate: bytes_per_sec,
             burst: bytes_per_sec * 0.05, // 50 ms worth of burst
             latency,
-            bucket: Mutex::new(Bucket { tokens: 0.0, last: Instant::now() }),
+            bucket: Mutex::new(Bucket {
+                tokens: 0.0,
+                last: Instant::now(),
+            }),
         }
     }
 

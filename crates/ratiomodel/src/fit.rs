@@ -27,7 +27,10 @@ pub fn observe(data: &[f32], dims: &Dims, bounds: &[ErrorBound]) -> Vec<Observat
     bounds
         .iter()
         .filter_map(|&eb| {
-            let cfg = Config { error_bound: eb, ..Config::default() };
+            let cfg = Config {
+                error_bound: eb,
+                ..Config::default()
+            };
             let start = Instant::now();
             let (_, st) = compress_with_stats(data, dims, &cfg).ok()?;
             let secs = start.elapsed().as_secs_f64().max(1e-9);
@@ -46,9 +49,16 @@ pub fn observe(data: &[f32], dims: &Dims, bounds: &[ErrorBound]) -> Vec<Observat
 /// Mirrors the paper's procedure of calibrating on one field (baryon
 /// density of the 512³ snapshot, rel bounds 1e-1…1e-8) and reusing the
 /// fitted `(Cmin, Cmax, a)` for every other field and snapshot.
-pub fn calibrate(data: &[f32], dims: &Dims, bounds: &[ErrorBound]) -> (ThroughputModel, Vec<Observation>) {
+pub fn calibrate(
+    data: &[f32],
+    dims: &Dims,
+    bounds: &[ErrorBound],
+) -> (ThroughputModel, Vec<Observation>) {
     let obs = observe(data, dims, bounds);
-    assert!(obs.len() >= 2, "calibration needs at least two successful runs");
+    assert!(
+        obs.len() >= 2,
+        "calibration needs at least two successful runs"
+    );
     let samples: Vec<(f64, f64)> = obs.iter().map(|o| (o.bit_rate, o.throughput)).collect();
     (fit_throughput(&samples), obs)
 }
@@ -69,10 +79,7 @@ mod tests {
         for z in 0..n {
             for y in 0..n {
                 for x in 0..n {
-                    v.push(
-                        ((x as f32) * 0.15).sin() * ((y as f32) * 0.1).cos()
-                            + 0.02 * z as f32,
-                    );
+                    v.push(((x as f32) * 0.15).sin() * ((y as f32) * 0.1).cos() + 0.02 * z as f32);
                 }
             }
         }
@@ -85,7 +92,11 @@ mod tests {
         let obs = observe(
             &data,
             &dims,
-            &[ErrorBound::Rel(1e-1), ErrorBound::Rel(1e-3), ErrorBound::Rel(1e-6)],
+            &[
+                ErrorBound::Rel(1e-1),
+                ErrorBound::Rel(1e-3),
+                ErrorBound::Rel(1e-6),
+            ],
         );
         assert_eq!(obs.len(), 3);
         assert!(obs[0].bit_rate < obs[1].bit_rate);

@@ -85,7 +85,9 @@ pub fn estimate_partition<T: Element>(
         bytes: p.bytes,
         bits_per_point: p.bits_per_point,
         ratio: p.ratio,
-        comp_time: models.throughput.compression_time(raw_bytes, p.bits_per_point),
+        comp_time: models
+            .throughput
+            .compression_time(raw_bytes, p.bits_per_point),
         write_time: models.write.write_time(p.bits_per_point, data.len()),
     })
 }
@@ -107,8 +109,7 @@ mod tests {
         }
         let dims = Dims::d3(n, n, n);
         let models = Models::with_cthr(100e6);
-        let est =
-            estimate_partition(&data, &dims, &Config::rel(1e-3), &models).unwrap();
+        let est = estimate_partition(&data, &dims, &Config::rel(1e-3), &models).unwrap();
         assert!(est.bytes > 0);
         assert!(est.comp_time > 0.0);
         assert!(est.write_time > 0.0);
@@ -123,10 +124,8 @@ mod tests {
         let data: Vec<f32> = (0..40_000).map(|i| (i as f32 * 0.002).sin()).collect();
         let dims = Dims::d1(40_000);
         let models = Models::with_cthr(100e6);
-        let loose =
-            estimate_partition(&data, &dims, &Config::rel(1e-2), &models).unwrap();
-        let tight =
-            estimate_partition(&data, &dims, &Config::rel(1e-6), &models).unwrap();
+        let loose = estimate_partition(&data, &dims, &Config::rel(1e-2), &models).unwrap();
+        let tight = estimate_partition(&data, &dims, &Config::rel(1e-6), &models).unwrap();
         assert!(loose.bytes < tight.bytes);
         assert!(loose.write_time < tight.write_time);
         // And higher ratio → faster compression (Eq. 1 shape).

@@ -34,7 +34,10 @@ pub struct LosslessGain {
 
 impl Default for LosslessGain {
     fn default() -> Self {
-        LosslessGain { floor: 0.08, half_run: 12.0 }
+        LosslessGain {
+            floor: 0.08,
+            half_run: 12.0,
+        }
     }
 }
 

@@ -30,7 +30,11 @@ impl ThroughputModel {
     /// A reference model mirroring the paper's fitted Bebop values
     /// (Cmin = 101.7 MB/s, Cmax = 240.6 MB/s, a = −1.716).
     pub fn paper_reference() -> Self {
-        ThroughputModel { cmin: 101.7e6, cmax: 240.6e6, a: -1.716 }
+        ThroughputModel {
+            cmin: 101.7e6,
+            cmax: 240.6e6,
+            a: -1.716,
+        }
     }
 
     /// Predicted throughput (bytes/s) at compressed bit-rate `b`.
@@ -54,7 +58,10 @@ impl ThroughputModel {
 /// `ŷ = (S − Cmin)/(Cmax − Cmin)`.
 pub fn fit(samples: &[(f64, f64)]) -> ThroughputModel {
     assert!(samples.len() >= 2, "need at least two observations");
-    let cmin = samples.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+    let cmin = samples
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::INFINITY, f64::min);
     let cmax = samples.iter().map(|&(_, s)| s).fold(0.0, f64::max);
     let span = (cmax - cmin).max(1e-9);
 
@@ -72,7 +79,11 @@ pub fn fit(samples: &[(f64, f64)]) -> ThroughputModel {
         num += y.ln() * x;
         den += x * x;
     }
-    let a = if den > 0.0 { (num / den).min(-1e-3) } else { -1.7 };
+    let a = if den > 0.0 {
+        (num / den).min(-1e-3)
+    } else {
+        -1.7
+    };
     ThroughputModel { cmin, cmax, a }
 }
 
@@ -111,7 +122,11 @@ mod tests {
 
     #[test]
     fn fit_recovers_exponent() {
-        let truth = ThroughputModel { cmin: 100e6, cmax: 250e6, a: -1.5 };
+        let truth = ThroughputModel {
+            cmin: 100e6,
+            cmax: 250e6,
+            a: -1.5,
+        };
         let samples: Vec<(f64, f64)> = (1..=32)
             .map(|i| {
                 let b = i as f64;
@@ -121,8 +136,16 @@ mod tests {
         let fitted = fit(&samples);
         // The sampled band stops at B = 32, where throughput is still a
         // few MB/s above the asymptotic Cmin.
-        assert!((fitted.cmin - truth.cmin).abs() < 6e6, "cmin {}", fitted.cmin);
-        assert!((fitted.cmax - truth.cmax).abs() < 2e6, "cmax {}", fitted.cmax);
+        assert!(
+            (fitted.cmin - truth.cmin).abs() < 6e6,
+            "cmin {}",
+            fitted.cmin
+        );
+        assert!(
+            (fitted.cmax - truth.cmax).abs() < 2e6,
+            "cmax {}",
+            fitted.cmax
+        );
         // Exponent within a loose band (clamping distorts the tails).
         assert!(fitted.a < -0.5 && fitted.a > -3.0, "a {}", fitted.a);
         // And predictions agree within 15 % over the band.

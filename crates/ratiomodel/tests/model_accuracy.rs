@@ -69,9 +69,12 @@ fn estimates_are_finite_and_positive_across_fields() {
     let models = Models::with_cthr(200e6);
     for f in &ds.fields {
         let est =
-            ratiomodel::estimate_partition(&f.data, &dims, &Config::rel(1e-3), &models)
-                .unwrap();
-        assert!(est.bytes > 0 && est.comp_time > 0.0 && est.write_time > 0.0, "{}", f.name);
+            ratiomodel::estimate_partition(&f.data, &dims, &Config::rel(1e-3), &models).unwrap();
+        assert!(
+            est.bytes > 0 && est.comp_time > 0.0 && est.write_time > 0.0,
+            "{}",
+            f.name
+        );
         assert!(est.comp_time.is_finite() && est.write_time.is_finite());
     }
 }

@@ -62,7 +62,10 @@ pub fn compress_with_stats<T: Element>(
         return Err(SzError::EmptyInput);
     }
     if dims.len() != data.len() {
-        return Err(SzError::DimMismatch { expected: dims.len(), actual: data.len() });
+        return Err(SzError::DimMismatch {
+            expected: dims.len(),
+            actual: data.len(),
+        });
     }
 
     // Resolve the error bound against the data range.

@@ -107,7 +107,9 @@ pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
         return Err(SzError::Corrupt("code count vs dims"));
     }
     let code_len = get_varint(payload_ref, &mut pos)? as usize;
-    let code_end = pos.checked_add(code_len).ok_or(SzError::Corrupt("code length"))?;
+    let code_end = pos
+        .checked_add(code_len)
+        .ok_or(SzError::Corrupt("code length"))?;
     let code_bytes = payload_ref
         .get(pos..code_end)
         .ok_or(SzError::Truncated("code bytes"))?;
@@ -115,7 +117,9 @@ pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
     let codes = dec.decode(&mut br, n_codes)?;
     pos = code_end;
     let n_literals = get_varint(payload_ref, &mut pos)? as usize;
-    let lit_bytes = payload_ref.get(pos..).ok_or(SzError::Truncated("literals"))?;
+    let lit_bytes = payload_ref
+        .get(pos..)
+        .ok_or(SzError::Truncated("literals"))?;
     if lit_bytes.len() < n_literals * T::BYTES {
         return Err(SzError::Truncated("literal bytes"));
     }
@@ -135,7 +139,11 @@ pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
                 let code = codes[idx];
                 let value: T = if code == UNPREDICTABLE {
                     let v = T::read_le(lit_bytes, &mut lit_pos)?;
-                    recon[idx] = if v.to_f64().is_finite() { v.to_f64() } else { 0.0 };
+                    recon[idx] = if v.to_f64().is_finite() {
+                        v.to_f64()
+                    } else {
+                        0.0
+                    };
                     v
                 } else {
                     if code as usize >= quant.alphabet() {

@@ -43,7 +43,9 @@ impl Element for f32 {
 
     fn read_le(buf: &[u8], pos: &mut usize) -> Result<Self> {
         let end = *pos + 4;
-        let b = buf.get(*pos..end).ok_or(SzError::Truncated("f32 literal"))?;
+        let b = buf
+            .get(*pos..end)
+            .ok_or(SzError::Truncated("f32 literal"))?;
         *pos = end;
         Ok(f32::from_le_bytes(b.try_into().unwrap()))
     }
@@ -70,7 +72,9 @@ impl Element for f64 {
 
     fn read_le(buf: &[u8], pos: &mut usize) -> Result<Self> {
         let end = *pos + 8;
-        let b = buf.get(*pos..end).ok_or(SzError::Truncated("f64 literal"))?;
+        let b = buf
+            .get(*pos..end)
+            .ok_or(SzError::Truncated("f64 literal"))?;
         *pos = end;
         Ok(f64::from_le_bytes(b.try_into().unwrap()))
     }

@@ -77,7 +77,10 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
         let mut heap: BinaryHeap<Node> = used
             .iter()
             .enumerate()
-            .map(|(i, &s)| Node { freq: freqs_work[s], id: i })
+            .map(|(i, &s)| Node {
+                freq: freqs_work[s],
+                id: i,
+            })
             .collect();
         let mut next_id = used.len();
         while heap.len() > 1 {
@@ -85,7 +88,10 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
             let b = heap.pop().unwrap();
             parent[a.id] = next_id;
             parent[b.id] = next_id;
-            heap.push(Node { freq: a.freq.saturating_add(b.freq), id: next_id });
+            heap.push(Node {
+                freq: a.freq.saturating_add(b.freq),
+                id: next_id,
+            });
             next_id += 1;
         }
         // Depth of each leaf = chain length to the root.
@@ -142,7 +148,9 @@ impl HuffmanEncoder {
     /// symbol `s`).
     pub fn from_freqs(freqs: &[u64]) -> Self {
         let lens = code_lengths(freqs);
-        HuffmanEncoder { codes: canonical_codes(&lens) }
+        HuffmanEncoder {
+            codes: canonical_codes(&lens),
+        }
     }
 
     /// Build directly from a symbol stream.
@@ -261,7 +269,12 @@ impl HuffmanDecoder {
             code += count[len] as u64;
             index += count[len];
         }
-        Ok(HuffmanDecoder { symbols, first_code, first_index, count })
+        Ok(HuffmanDecoder {
+            symbols,
+            first_code,
+            first_index,
+            count,
+        })
     }
 
     /// Decode one symbol from the reader.

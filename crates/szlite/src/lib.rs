@@ -72,8 +72,7 @@ mod tests {
             for y in 0..ny {
                 for x in 0..nx {
                     v.push(
-                        ((x as f32) * 0.2).sin() * ((y as f32) * 0.13).cos()
-                            + 0.01 * (z as f32),
+                        ((x as f32) * 0.2).sin() * ((y as f32) * 0.13).cos() + 0.01 * (z as f32),
                     );
                 }
             }
@@ -107,8 +106,7 @@ mod tests {
     fn smooth_data_compresses_well() {
         let dims = Dims::d3(32, 32, 32);
         let data = wave3d(32, 32, 32);
-        let (_, st) =
-            compress_with_stats(&data, &dims, &Config::rel(1e-3)).unwrap();
+        let (_, st) = compress_with_stats(&data, &dims, &Config::rel(1e-3)).unwrap();
         assert!(st.ratio() > 4.0, "ratio {}", st.ratio());
     }
 
@@ -181,7 +179,10 @@ mod tests {
     #[test]
     fn garbage_rejected() {
         assert!(decompress_f32(&[0u8; 64]).is_err());
-        assert!(matches!(decompress_f32(b"not a stream at all"), Err(SzError::BadMagic)));
+        assert!(matches!(
+            decompress_f32(b"not a stream at all"),
+            Err(SzError::BadMagic)
+        ));
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
-    let (&mode, rest) = input.split_first().ok_or(SzError::Truncated("lossless mode"))?;
+    let (&mode, rest) = input
+        .split_first()
+        .ok_or(SzError::Truncated("lossless mode"))?;
     match mode {
         MODE_RAW => Ok(rest.to_vec()),
         MODE_LZSS => lzss_decompress(rest),

@@ -29,7 +29,11 @@ impl Strides {
             ext[off + i] = d;
         }
         let stride = [ext[1] * ext[2], ext[2], 1];
-        Strides { ndims: e.len(), ext, stride }
+        Strides {
+            ndims: e.len(),
+            ext,
+            stride,
+        }
     }
 
     /// Total number of points.
@@ -56,7 +60,9 @@ pub struct Lorenzo {
 impl Lorenzo {
     /// Build a predictor for the grid.
     pub fn new(dims: &Dims) -> Self {
-        Lorenzo { s: Strides::new(dims) }
+        Lorenzo {
+            s: Strides::new(dims),
+        }
     }
 
     /// Grid strides.
@@ -153,7 +159,10 @@ mod tests {
                 for x in 1..4 {
                     let pred = p.predict(&recon, z, y, x);
                     let truth = recon[z * 16 + y * 4 + x];
-                    assert!((pred - truth).abs() < 1e-12, "({z},{y},{x}): {pred} vs {truth}");
+                    assert!(
+                        (pred - truth).abs() < 1e-12,
+                        "({z},{y},{x}): {pred} vs {truth}"
+                    );
                 }
             }
         }

@@ -23,7 +23,11 @@ impl Quantizer {
     /// half-size `radius` (≥ 2).
     pub fn new(eb: f64, radius: u32) -> Self {
         debug_assert!(eb > 0.0 && eb.is_finite());
-        Quantizer { eb, twice_eb: 2.0 * eb, radius: i64::from(radius.max(2)) }
+        Quantizer {
+            eb,
+            twice_eb: 2.0 * eb,
+            radius: i64::from(radius.max(2)),
+        }
     }
 
     /// Absolute error bound.

@@ -108,7 +108,10 @@ pub fn sample_quantization<T: Element>(
         return Err(SzError::EmptyInput);
     }
     if dims.len() != data.len() {
-        return Err(SzError::DimMismatch { expected: dims.len(), actual: data.len() });
+        return Err(SzError::DimMismatch {
+            expected: dims.len(),
+            actual: data.len(),
+        });
     }
     let frac = sample_fraction.clamp(1e-4, 1.0);
 
@@ -166,9 +169,8 @@ pub fn sample_quantization<T: Element>(
                 // block extents).
                 let (lbz, lby, lbx) = (z1 - z0, y1 - y0, x1 - x0);
                 let mut brecon = vec![0.0f64; lbz * lby * lbx];
-                let bidx = |z: usize, y: usize, x: usize| {
-                    ((z - z0) * lby + (y - y0)) * lbx + (x - x0)
-                };
+                let bidx =
+                    |z: usize, y: usize, x: usize| ((z - z0) * lby + (y - y0)) * lbx + (x - x0);
                 for z in z0..z1 {
                     for y in y0..y1 {
                         for x in x0..x1 {
@@ -219,8 +221,7 @@ pub fn sample_quantization<T: Element>(
                                     code
                                 }
                                 None => {
-                                    brecon[bidx(z, y, x)] =
-                                        if xv.is_finite() { xv } else { 0.0 };
+                                    brecon[bidx(z, y, x)] = if xv.is_finite() { xv } else { 0.0 };
                                     n_unpred += 1;
                                     0
                                 }
@@ -260,8 +261,7 @@ mod tests {
     #[test]
     fn full_sample_counts_everything() {
         let data = ramp(1000);
-        let s =
-            sample_quantization(&data, &Dims::d1(1000), &Config::abs(0.1), 1.0).unwrap();
+        let s = sample_quantization(&data, &Dims::d1(1000), &Config::abs(0.1), 1.0).unwrap();
         assert_eq!(s.n_sampled, 1000);
         assert_eq!(s.n_total, 1000);
         assert!((s.sample_fraction() - 1.0).abs() < 1e-12);
@@ -270,8 +270,7 @@ mod tests {
     #[test]
     fn partial_sample_is_smaller() {
         let data = ramp(100_000);
-        let s = sample_quantization(&data, &Dims::d1(100_000), &Config::abs(0.1), 0.05)
-            .unwrap();
+        let s = sample_quantization(&data, &Dims::d1(100_000), &Config::abs(0.1), 0.05).unwrap();
         assert!(s.n_sampled < 10_000, "sampled {}", s.n_sampled);
         assert!(s.n_sampled > 1_000);
     }
@@ -279,8 +278,7 @@ mod tests {
     #[test]
     fn smooth_data_low_entropy() {
         let data = ramp(10_000);
-        let s =
-            sample_quantization(&data, &Dims::d1(10_000), &Config::abs(0.5), 1.0).unwrap();
+        let s = sample_quantization(&data, &Dims::d1(10_000), &Config::abs(0.5), 1.0).unwrap();
         // A linear ramp is perfectly predicted: entropy near zero.
         assert!(s.entropy_bits() < 0.5, "entropy {}", s.entropy_bits());
         assert_eq!(s.n_unpredictable, 0);
@@ -298,16 +296,14 @@ mod tests {
                 (x as f32 / u32::MAX as f32) * 1000.0
             })
             .collect();
-        let s =
-            sample_quantization(&data, &Dims::d1(10_000), &Config::abs(0.01), 1.0).unwrap();
+        let s = sample_quantization(&data, &Dims::d1(10_000), &Config::abs(0.01), 1.0).unwrap();
         assert!(s.entropy_bits() > 5.0, "entropy {}", s.entropy_bits());
     }
 
     #[test]
     fn histogram_sums_to_sampled() {
         let data = ramp(5000);
-        let s =
-            sample_quantization(&data, &Dims::d2(50, 100), &Config::abs(0.05), 0.3).unwrap();
+        let s = sample_quantization(&data, &Dims::d2(50, 100), &Config::abs(0.05), 0.3).unwrap();
         let total: u64 = s.histogram.iter().sum();
         assert_eq!(total as usize, s.n_sampled);
     }

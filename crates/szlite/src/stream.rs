@@ -130,7 +130,11 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// New reader positioned at the first bit of `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0, bit: 0 }
+        BitReader {
+            bytes,
+            pos: 0,
+            bit: 0,
+        }
     }
 
     /// Read a single bit; `None` at end of stream.
@@ -180,7 +184,10 @@ mod tests {
         put_varint(&mut buf, 1 << 40);
         buf.pop();
         let mut pos = 0;
-        assert!(matches!(get_varint(&buf, &mut pos), Err(SzError::Truncated(_))));
+        assert!(matches!(
+            get_varint(&buf, &mut pos),
+            Err(SzError::Truncated(_))
+        ));
     }
 
     #[test]

@@ -16,7 +16,11 @@ impl Field {
     pub fn new(name: impl Into<String>, data: Vec<f32>, dims: Vec<usize>) -> Self {
         let n: usize = dims.iter().product();
         assert_eq!(n, data.len(), "dims product must equal data length");
-        Field { name: name.into(), data, dims }
+        Field {
+            name: name.into(),
+            data,
+            dims,
+        }
     }
 
     /// Number of points.

@@ -96,8 +96,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(value_noise(1.5, 2.5, 3.5, 42), value_noise(1.5, 2.5, 3.5, 42));
-        assert_ne!(value_noise(1.5, 2.5, 3.5, 42), value_noise(1.5, 2.5, 3.5, 43));
+        assert_eq!(
+            value_noise(1.5, 2.5, 3.5, 42),
+            value_noise(1.5, 2.5, 3.5, 42)
+        );
+        assert_ne!(
+            value_noise(1.5, 2.5, 3.5, 42),
+            value_noise(1.5, 2.5, 3.5, 43)
+        );
     }
 
     #[test]

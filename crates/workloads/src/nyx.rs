@@ -35,14 +35,22 @@ pub struct NyxParams {
 
 impl Default for NyxParams {
     fn default() -> Self {
-        NyxParams { side: 64, seed: 0x4E59, redshift: 2.0, feature_scale: 24.0 }
+        NyxParams {
+            side: 64,
+            seed: 0x4E59,
+            redshift: 2.0,
+            feature_scale: 24.0,
+        }
     }
 }
 
 impl NyxParams {
     /// Snapshot with a given cube side and defaults otherwise.
     pub fn with_side(side: usize) -> Self {
-        NyxParams { side, ..Default::default() }
+        NyxParams {
+            side,
+            ..Default::default()
+        }
     }
 
     /// Override the seed.
@@ -159,7 +167,10 @@ pub fn snapshot_subset(p: NyxParams, names: &[&str]) -> Dataset {
         .filter(|f| names.contains(&f.name.as_str()))
         .collect();
     assert!(!fields.is_empty(), "no matching field names");
-    Dataset { name: full.name, fields }
+    Dataset {
+        name: full.name,
+        fields,
+    }
 }
 
 /// A time series of snapshots with decreasing red shift (Fig. 15).
@@ -198,7 +209,10 @@ mod tests {
         let ds = snapshot(NyxParams::with_side(8));
         for name in ["baryon_density", "dark_matter_density", "temperature"] {
             let f = ds.field(name).unwrap();
-            assert!(f.data.iter().all(|&v| v > 0.0), "{name} has non-positive values");
+            assert!(
+                f.data.iter().all(|&v| v > 0.0),
+                "{name} has non-positive values"
+            );
         }
     }
 
@@ -214,7 +228,12 @@ mod tests {
         };
         let fe = early.field("baryon_density").unwrap();
         let fl = late.field("baryon_density").unwrap();
-        assert!(spread(fl) > spread(fe), "late {} early {}", spread(fl), spread(fe));
+        assert!(
+            spread(fl) > spread(fe),
+            "late {} early {}",
+            spread(fl),
+            spread(fe)
+        );
     }
 
     #[test]

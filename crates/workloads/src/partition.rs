@@ -36,7 +36,11 @@ impl Decomposition {
             "process grid {grid:?} does not divide domain {domain:?}"
         );
         assert!(block.iter().all(|&b| b > 0), "more processes than cells");
-        Decomposition { grid, domain, block }
+        Decomposition {
+            grid,
+            domain,
+            block,
+        }
     }
 
     /// Number of ranks.
@@ -52,7 +56,11 @@ impl Decomposition {
     /// Block coordinates of `rank` in the process grid.
     pub fn coords(&self, rank: usize) -> [usize; 3] {
         let pyx = self.grid[1] * self.grid[2];
-        [rank / pyx, (rank / self.grid[2]) % self.grid[1], rank % self.grid[2]]
+        [
+            rank / pyx,
+            (rank / self.grid[2]) % self.grid[1],
+            rank % self.grid[2],
+        ]
     }
 
     /// Extract rank `rank`'s contiguous sub-block of `field`.
@@ -167,7 +175,10 @@ mod tests {
     fn split_1d_even_and_ragged() {
         let f = Field::new("p", (0..10).map(|i| i as f32).collect(), vec![10]);
         let parts = split_1d(&f, 3);
-        assert_eq!(parts.iter().map(Vec::len).collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert_eq!(
+            parts.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
         let all: Vec<f32> = parts.concat();
         assert_eq!(all, f.data);
     }

@@ -25,14 +25,22 @@ pub struct RtmParams {
 
 impl Default for RtmParams {
     fn default() -> Self {
-        RtmParams { side: 64, seed: 0x52_54_4D, n_sources: 6, wavelength: 12.0 }
+        RtmParams {
+            side: 64,
+            seed: 0x52_54_4D,
+            n_sources: 6,
+            wavelength: 12.0,
+        }
     }
 }
 
 impl RtmParams {
     /// Snapshot with a given cube side.
     pub fn with_side(side: usize) -> Self {
-        RtmParams { side, ..Default::default() }
+        RtmParams {
+            side,
+            ..Default::default()
+        }
     }
 }
 

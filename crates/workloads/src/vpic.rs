@@ -42,7 +42,10 @@ impl Default for VpicParams {
 impl VpicParams {
     /// A dump with `n` particles and defaults otherwise.
     pub fn with_particles(n: usize) -> Self {
-        VpicParams { n_particles: n, ..Default::default() }
+        VpicParams {
+            n_particles: n,
+            ..Default::default()
+        }
     }
 
     /// Override the seed.
@@ -53,8 +56,9 @@ impl VpicParams {
 }
 
 /// The eight per-particle fields, in dump order.
-pub const VPIC_FIELDS: [&str; 8] =
-    ["pos_x", "pos_y", "pos_z", "mom_x", "mom_y", "mom_z", "energy", "weight"];
+pub const VPIC_FIELDS: [&str; 8] = [
+    "pos_x", "pos_y", "pos_z", "mom_x", "mom_y", "mom_z", "energy", "weight",
+];
 
 /// Generate a particle dump with the eight standard fields.
 pub fn snapshot(p: VpicParams) -> Dataset {
@@ -134,7 +138,11 @@ mod tests {
         assert_eq!(ds.fields.len(), 8);
         for f in &ds.fields {
             assert_eq!(f.len(), 1000);
-            assert!(f.data.iter().all(|v| v.is_finite()), "{} has non-finite", f.name);
+            assert!(
+                f.data.iter().all(|v| v.is_finite()),
+                "{} has non-finite",
+                f.name
+            );
         }
     }
 

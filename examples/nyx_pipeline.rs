@@ -40,7 +40,10 @@ fn main() {
         })
         .collect();
 
-    println!("\n{:<18} {:>9} {:>10} {:>10} {:>9}", "method", "total", "compress", "write", "ratio");
+    println!(
+        "\n{:<18} {:>9} {:>10} {:>10} {:>9}",
+        "method", "total", "compress", "write", "ratio"
+    );
     let mut results = Vec::new();
     for method in Method::ALL {
         let path = std::env::temp_dir().join(format!("nyx-pipeline-{}.h5l", method.label()));
@@ -66,7 +69,14 @@ fn main() {
         std::fs::remove_file(&path).ok();
     }
 
-    let t = |m: Method| results.iter().find(|(mm, _)| *mm == m).unwrap().1.total_time;
+    let t = |m: Method| {
+        results
+            .iter()
+            .find(|(mm, _)| *mm == m)
+            .unwrap()
+            .1
+            .total_time
+    };
     println!(
         "\nspeedup of overlap+reorder: {:.2}x vs no-compression, {:.2}x vs filter+collective",
         t(Method::NoCompression) / t(Method::OverlapReorder),

@@ -6,8 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use repro_suite::h5lite::{DatasetSpec, Dtype, FilterSpec, H5File, H5Reader, SzFilterParams,
-    SZLITE_FILTER_ID};
+use repro_suite::h5lite::{
+    DatasetSpec, Dtype, FilterSpec, H5File, H5Reader, SzFilterParams, SZLITE_FILTER_ID,
+};
 use repro_suite::szlite::{compress_with_stats, decompress_f32, stats, Config, Dims};
 use repro_suite::workloads::{nyx, NyxParams};
 
@@ -16,7 +17,12 @@ fn main() {
     let side = 64;
     let field = nyx::single_field(NyxParams::with_side(side), "temperature");
     let dims = Dims::d3(side, side, side);
-    println!("field: {} ({} points, {} bytes raw)", field.name, field.len(), field.raw_bytes());
+    println!(
+        "field: {} ({} points, {} bytes raw)",
+        field.name,
+        field.len(),
+        field.raw_bytes()
+    );
 
     // 2. Compress with a value-range-relative bound of 1e-3.
     let cfg = Config::rel(1e-3);
@@ -33,7 +39,10 @@ fn main() {
     let (restored, _) = decompress_f32(&stream).unwrap();
     let max_err = stats::max_abs_err(&field.data, &restored);
     let psnr = stats::psnr(&field.data, &restored);
-    println!("max error {max_err:.3e} <= eb {:.3e}; PSNR {psnr:.1} dB", st.eb);
+    println!(
+        "max error {max_err:.3e} <= eb {:.3e}; PSNR {psnr:.1} dB",
+        st.eb
+    );
     assert!(max_err <= st.eb);
 
     // 4. Store through the HDF5-like container with the SZ filter.
@@ -46,9 +55,16 @@ fn main() {
     };
     let id = file
         .create_dataset(
-            DatasetSpec::new("fields/temperature", Dtype::F32, &[(side * side * side) as u64])
-                .chunked(&[(side * side * side) as u64])
-                .with_filter(FilterSpec { id: SZLITE_FILTER_ID, params: params.to_bytes() }),
+            DatasetSpec::new(
+                "fields/temperature",
+                Dtype::F32,
+                &[(side * side * side) as u64],
+            )
+            .chunked(&[(side * side * side) as u64])
+            .with_filter(FilterSpec {
+                id: SZLITE_FILTER_ID,
+                params: params.to_bytes(),
+            }),
         )
         .unwrap();
     let bytes: Vec<u8> = field.data.iter().flat_map(|v| v.to_le_bytes()).collect();

@@ -8,8 +8,8 @@
 
 use repro_suite::pfsim::BandwidthModel;
 use repro_suite::predwrite::{
-    profile_partition, replicate_profiles, simulate_method, weight_to_rspace,
-    ExtraSpacePolicy, Method, SimParams,
+    profile_partition, replicate_profiles, simulate_method, weight_to_rspace, ExtraSpacePolicy,
+    Method, SimParams,
 };
 use repro_suite::ratiomodel::Models;
 use repro_suite::szlite::{Config, Dims};

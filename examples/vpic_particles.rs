@@ -17,7 +17,10 @@ fn main() {
     let n_particles = 1 << 16;
     let nranks = 8;
     let ds = vpic::snapshot(VpicParams::with_particles(n_particles));
-    println!("VPIC dump: {n_particles} particles, {} fields, {nranks} ranks", ds.fields.len());
+    println!(
+        "VPIC dump: {n_particles} particles, {} fields, {nranks} ranks",
+        ds.fields.len()
+    );
 
     // Equal 1-D splits per field (truncate the remainder so chunks are
     // uniform, as the chunked layout requires).
@@ -67,9 +70,9 @@ fn main() {
         for (r, rank_fields) in data.iter().enumerate() {
             let orig = &rank_fields[f].data;
             let chunk = &stored[r * per_rank..(r + 1) * per_rank];
-            let (mn, mx) = orig.iter().fold((f32::MAX, f32::MIN), |(a, b), &v| {
-                (a.min(v), b.max(v))
-            });
+            let (mn, mx) = orig
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(a, b), &v| (a.min(v), b.max(v)));
             let eb = 1e-3 * f64::from(mx - mn);
             for (&a, &b) in orig.iter().zip(chunk) {
                 let e = (f64::from(a) - f64::from(b)).abs();
@@ -77,7 +80,10 @@ fn main() {
                 worst = worst.max(if eb > 0.0 { e / eb } else { 0.0 });
             }
         }
-        println!("  {name:8} verified (worst error {:.0}% of bound)", worst * 100.0);
+        println!(
+            "  {name:8} verified (worst error {:.0}% of bound)",
+            worst * 100.0
+        );
     }
     std::fs::remove_file(&path).ok();
 }

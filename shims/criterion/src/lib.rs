@@ -1,0 +1,233 @@
+//! Offline shim for `criterion`: the group/bench/iter API surface the
+//! workspace benches use, with two modes matching real Criterion's
+//! behavior under cargo:
+//!
+//! * **test mode** (no `--bench` argument, i.e. `cargo test`): every
+//!   bench body runs exactly once, as a smoke test;
+//! * **bench mode** (`cargo bench` passes `--bench`): a short warmup
+//!   plus `sample_size` timed iterations, reporting the mean per-iter
+//!   time and optional throughput.
+//!
+//! No statistics, history, or plotting.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export position matches `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for one measurement within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion distinguishes `cargo bench` (passes `--bench`)
+        // from `cargo test` (does not) the same way.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one("", &id.into().id, 10, None, test_mode, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.sample_size,
+            self.throughput,
+            self.test_mode,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.sample_size,
+            self.throughput,
+            self.test_mode,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut f: F,
+) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test-mode bench {label}: ok");
+        return;
+    }
+    // Warmup once, then time `sample_size` iterations in one batch.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut b = Bencher {
+        iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / sample_size as f64;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / mean / 1e6;
+            println!("bench {label}: {:.3} ms/iter, {mbps:.1} MB/s", mean * 1e3);
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / mean;
+            println!("bench {label}: {:.3} ms/iter, {eps:.0} elem/s", mean * 1e3);
+        }
+        None => println!("bench {label}: {:.3} ms/iter", mean * 1e3),
+    }
+}
+
+/// `criterion_group!(name, target...)` — defines `fn name()` running
+/// each target against a default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!(group...)` — defines `fn main()` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,110 @@
+//! `any::<T>()` — full-domain strategies for the primitive types.
+
+use crate::rng::TestRng;
+use crate::strategy::{SampleResult, Strategy};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized + Debug {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Marker strategy for "any value of T, bits chosen uniformly".
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Any<T> {
+    fn new() -> Self {
+        Any(PhantomData)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),+) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> SampleResult<$t> {
+                Ok(rng.next_u64() as $t)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any::new()
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Floats sample raw bit patterns, so NaN and infinities occur — the
+// same contract as real proptest's `any::<f64>()`; pair with
+// `prop_filter` for finite-only domains.
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<f64> {
+        Ok(f64::from_bits(rng.next_u64()))
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = Any<f64>;
+    fn arbitrary() -> Any<f64> {
+        Any::new()
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<f32> {
+        Ok(f32::from_bits(rng.next_u32()))
+    }
+}
+
+impl Arbitrary for f32 {
+    type Strategy = Any<f32>;
+    fn arbitrary() -> Any<f32> {
+        Any::new()
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<bool> {
+        Ok(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_sign_and_magnitude() {
+        let mut rng = TestRng::new(11);
+        let s = any::<i64>();
+        let vals: Vec<i64> = (0..64).map(|_| s.sample(&mut rng).unwrap()).collect();
+        assert!(vals.iter().any(|&v| v < 0) && vals.iter().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn u8_reaches_both_halves() {
+        let mut rng = TestRng::new(12);
+        let s = any::<u8>();
+        let vals: Vec<u8> = (0..256).map(|_| s.sample(&mut rng).unwrap()).collect();
+        assert!(vals.iter().any(|&v| v < 128) && vals.iter().any(|&v| v >= 128));
+    }
+}

@@ -1,0 +1,85 @@
+//! `proptest::collection::vec` — variable-length vectors of a strategy.
+
+use crate::rng::TestRng;
+use crate::strategy::{SampleResult, Strategy};
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive length bounds, converted from the range forms suites use.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// A `Vec` whose length is uniform in `size` and whose elements are
+/// drawn independently from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<Vec<S::Value>> {
+        let span = self.size.hi - self.size.lo + 1;
+        let len = self.size.lo + rng.usize_below(span);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_bounds_hold_for_all_forms() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            assert_eq!(vec(0u8..10, 4usize).sample(&mut rng).unwrap().len(), 4);
+            let a = vec(0u8..10, 1usize..5).sample(&mut rng).unwrap();
+            assert!((1..5).contains(&a.len()));
+            let b = vec(0u8..10, 2usize..=6).sample(&mut rng).unwrap();
+            assert!((2..=6).contains(&b.len()));
+        }
+    }
+
+    #[test]
+    fn elements_respect_inner_strategy() {
+        let mut rng = TestRng::new(4);
+        let v = vec(5u32..8, 0usize..64).sample(&mut rng).unwrap();
+        assert!(v.iter().all(|&x| (5..8).contains(&x)));
+    }
+}

@@ -1,0 +1,408 @@
+//! The `Strategy` trait and the combinators / primitive strategies the
+//! workspace suites use: ranges, tuples, `Just`, unions (`prop_oneof!`),
+//! map / flat_map / filter, boxing, and a regex-subset string strategy.
+
+use crate::rng::TestRng;
+use crate::test_runner::Reject;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// How many resamples a `prop_filter` attempts before rejecting the
+/// whole case back to the runner.
+const FILTER_RETRIES: usize = 256;
+
+pub type SampleResult<T> = Result<T, Reject>;
+
+/// A reusable generator of values. Unlike real proptest there is no
+/// value tree: sampling is direct and failing cases are not shrunk.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<Self::Value>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> SampleResult<T> {
+        Ok(self.0.clone())
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<O> {
+        Ok((self.f)(self.inner.sample(rng)?))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<S2::Value> {
+        let first = self.inner.sample(rng)?;
+        (self.f)(first).sample(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<S::Value> {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.sample(rng)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Reject(format!(
+            "filter '{}' kept rejecting samples",
+            self.whence
+        )))
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> SampleResult<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> SampleResult<S::Value> {
+        self.sample(rng)
+    }
+}
+
+/// Type-erased strategy, produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<T> {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Weighted choice among boxed strategies — the engine of `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Union::weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<T> {
+        let mut pick = rng.u64_below(self.total_weight);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight bookkeeping broken")
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> SampleResult<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                Ok((self.start as i128 + off as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> SampleResult<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                Ok((lo as i128 + off as i128) as $t)
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> SampleResult<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                let v = self.start + (self.end - self.start) * unit;
+                // Rounding (notably f64→f32 for units near 1) can land
+                // exactly on the exclusive upper bound; keep the
+                // contract by stepping just below it.
+                Ok(if v >= self.end { self.end.next_down() } else { v })
+            }
+        }
+    )+};
+}
+
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident $idx:tt),+);)+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> SampleResult<Self::Value> {
+                Ok(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+}
+
+/// String literals are regex-subset strategies, like real proptest.
+/// Supported syntax: literal characters, `[...]` classes with ranges,
+/// and `{n}` / `{m,n}` quantifiers — exactly what the suites use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> SampleResult<String> {
+        Ok(sample_pattern(self, rng))
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                class
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let (lo, hi, next) = parse_quantifier(&chars, i + 1, pattern);
+            i = next;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.u64_below(hi - lo + 1);
+        for _ in 0..count {
+            out.push(choices[rng.usize_below(choices.len())]);
+        }
+    }
+    out
+}
+
+/// Parse a `[...]` body starting just past the `[`; returns the
+/// expanded choice set and the index past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "bad class range in pattern strategy '{pattern}'");
+            class.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            class.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len() && !class.is_empty(),
+        "unterminated or empty class in pattern strategy '{pattern}'"
+    );
+    (class, i + 1)
+}
+
+/// Parse `{n}` or `{m,n}` starting just past the `{`; returns the
+/// bounds and the index past the closing `}`.
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u64, u64, usize) {
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated quantifier in pattern strategy '{pattern}'"))
+        + i;
+    let body: String = chars[i..close].iter().collect();
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = body.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "bad quantifier in pattern strategy '{pattern}'");
+    (lo, hi, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProptestConfig;
+
+    fn rng() -> TestRng {
+        TestRng::new(ProptestConfig::default().seed_for("strategy-unit"))
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..17).sample(&mut r).unwrap();
+            assert!((3..17).contains(&v));
+            let f = (-2.5f64..4.0).sample(&mut r).unwrap();
+            assert!((-2.5..4.0).contains(&f));
+            let i = (-5i32..=5).sample(&mut r).unwrap();
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..10)
+            .prop_map(|n| n * 2)
+            .prop_filter("mult of 4", |n| n % 4 == 0)
+            .prop_flat_map(|n| crate::collection::vec(0u8..=255, n..=n));
+        for _ in 0..100 {
+            let v = s.sample(&mut r).unwrap();
+            assert!(v.len() % 4 == 0 && v.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn union_honors_weights() {
+        let mut r = rng();
+        let u = Union::weighted(vec![(9, Just(0u8).boxed()), (1, Just(1u8).boxed())]);
+        let ones: usize = (0..2000).map(|_| u.sample(&mut r).unwrap() as usize).sum();
+        assert!((100..400).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn pattern_strategy_matches_subset() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".sample(&mut r).unwrap();
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let p = "[ -~]{0,24}".sample(&mut r).unwrap();
+            assert!(p.len() <= 24);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+            let q = "[a-z/]{1,20}".sample(&mut r).unwrap();
+            assert!(q.chars().all(|c| c.is_ascii_lowercase() || c == '/'));
+        }
+    }
+
+    #[test]
+    fn literal_and_fixed_count_patterns() {
+        let mut r = rng();
+        assert_eq!("abc".sample(&mut r).unwrap(), "abc");
+        assert_eq!("x{3}".sample(&mut r).unwrap(), "xxx");
+    }
+}

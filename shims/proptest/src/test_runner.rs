@@ -1,0 +1,119 @@
+//! The case loop: sample → execute → classify pass/fail/reject.
+
+use crate::config::ProptestConfig;
+use crate::rng::TestRng;
+
+/// A rejected sample (filter miss or failed `prop_assume!`). Cheap and
+/// expected; the runner resamples.
+#[derive(Debug, Clone)]
+pub struct Reject(pub String);
+
+/// Outcome of one executed case, proptest-compatible in spirit.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A property was violated; aborts the whole test with this message.
+    Fail(String),
+    /// The inputs did not satisfy an assumption; the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Attach the generated inputs to a failure message (no shrinking:
+    /// the raw case is the diagnostic).
+    pub fn with_inputs(self, inputs: &[String]) -> Self {
+        match self {
+            TestCaseError::Fail(msg) => TestCaseError::Fail(format!(
+                "{msg}\ngenerated inputs:\n  {}",
+                inputs.join("\n  ")
+            )),
+            reject => reject,
+        }
+    }
+}
+
+impl From<Reject> for TestCaseError {
+    fn from(r: Reject) -> Self {
+        TestCaseError::Reject(r.0)
+    }
+}
+
+/// Drive `case` until `effective_cases` successes, panicking on the
+/// first failure with the failing inputs and the seed to replay them.
+pub fn run<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let target = cfg.effective_cases();
+    let seed = cfg.seed_for(name);
+    let mut rng = TestRng::new(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    while passed < target {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > cfg.max_global_rejects {
+                    panic!(
+                        "proptest {name}: gave up after {rejected} rejected samples \
+                         ({passed}/{target} cases passed)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case {n} of {target} failed \
+                     (replay with PROPTEST_SEED={seed})\n{msg}",
+                    n = passed + 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let cfg = ProptestConfig::with_cases(17);
+        let mut n = 0;
+        run(&cfg, "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, cfg.effective_cases());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run(&ProptestConfig::with_cases(5), "fails", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let cfg = ProptestConfig::with_cases(3);
+        let mut calls = 0;
+        run(&cfg, "rejects", |_| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::reject("skip"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > cfg.effective_cases());
+    }
+}

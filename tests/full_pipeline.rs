@@ -2,16 +2,17 @@
 //! engine) → h5lite → szlite decode, under all four methods.
 
 use repro_suite::pfsim::BandwidthModel;
-use repro_suite::predwrite::{
-    run_real, ExtraSpacePolicy, Method, RankFieldData, RealConfig,
-};
+use repro_suite::predwrite::{run_real, ExtraSpacePolicy, Method, RankFieldData, RealConfig};
 use repro_suite::ratiomodel::Models;
 use repro_suite::szlite::{Config, Dims};
 use repro_suite::workloads::{nyx, rtm, Decomposition, NyxParams, RtmParams};
 use std::path::PathBuf;
+use testutil::TempPath;
 
-fn tmp(name: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("suite-{}-{}.h5l", std::process::id(), name))
+/// RAII temp path: the `suite-*.h5l` file is removed when the guard
+/// drops, even if an assertion fails mid-test.
+fn tmp(name: &str) -> TempPath {
+    TempPath::new(name, "h5l")
 }
 
 fn rank_data_from_nyx(side: usize, nranks: usize) -> Vec<Vec<RankFieldData>> {
@@ -48,7 +49,8 @@ fn base_config(method: Method, path: PathBuf) -> RealConfig {
 fn all_methods_produce_decodable_files() {
     let data = rank_data_from_nyx(16, 8);
     for method in Method::ALL {
-        let path = tmp(&format!("dec-{}", method.label()));
+        let guard = tmp(&format!("dec-{}", method.label()));
+        let path = guard.path().to_path_buf();
         let res = run_real(&data, &base_config(method, path.clone())).unwrap();
         assert!(res.total_time > 0.0, "{method:?}");
         let reader = repro_suite::h5lite::H5Reader::open(&path).unwrap();
@@ -58,17 +60,19 @@ fn all_methods_produce_decodable_files() {
             assert_eq!(vals.len(), f.data.len() * 8);
             assert!(vals.iter().all(|v| v.is_finite()));
         }
-        std::fs::remove_file(&path).unwrap();
     }
 }
 
 #[test]
 fn written_files_respect_per_field_bounds() {
     let data = rank_data_from_nyx(16, 4);
-    let path = tmp("bounds");
+    let guard = tmp("bounds");
+    let path = guard.path().to_path_buf();
     // Different bound per field, like the paper's per-field configs.
     let mut cfg = base_config(Method::OverlapReorder, path.clone());
-    cfg.configs = (0..6).map(|i| Config::rel(10f64.powi(-2 - (i % 3)))).collect();
+    cfg.configs = (0..6)
+        .map(|i| Config::rel(10f64.powi(-2 - (i % 3))))
+        .collect();
     run_real(&data, &cfg).unwrap();
     let reader = repro_suite::h5lite::H5Reader::open(&path).unwrap();
     for (fi, f) in data[0].iter().enumerate() {
@@ -93,21 +97,20 @@ fn written_files_respect_per_field_bounds() {
             }
         }
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn deterministic_compressed_sizes_across_runs() {
     let data = rank_data_from_nyx(16, 4);
-    let p1 = tmp("det1");
-    let p2 = tmp("det2");
+    let guard_p1 = tmp("det1");
+    let p1 = guard_p1.path().to_path_buf();
+    let guard_p2 = tmp("det2");
+    let p2 = guard_p2.path().to_path_buf();
     let r1 = run_real(&data, &base_config(Method::Overlap, p1.clone())).unwrap();
     let r2 = run_real(&data, &base_config(Method::Overlap, p2.clone())).unwrap();
     assert_eq!(r1.compressed_bytes, r2.compressed_bytes);
     assert_eq!(r1.n_overflow, r2.n_overflow);
     assert_eq!(r1.file_bytes, r2.file_bytes);
-    std::fs::remove_file(&p1).unwrap();
-    std::fs::remove_file(&p2).unwrap();
 }
 
 #[test]
@@ -126,12 +129,12 @@ fn single_field_rtm_roundtrip_through_pipeline() {
             }]
         })
         .collect();
-    let path = tmp("rtm");
+    let guard = tmp("rtm");
+    let path = guard.path().to_path_buf();
     let mut cfg = base_config(Method::OverlapReorder, path.clone());
     cfg.configs = vec![Config::rel(1e-4)];
     let res = run_real(&data, &cfg).unwrap();
     assert!(res.ideal_ratio() > 1.5, "ratio {}", res.ideal_ratio());
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
@@ -141,12 +144,24 @@ fn sim_and_real_planners_agree_on_layout() {
     use repro_suite::predwrite::{PartitionPrediction, WritePlan};
     let preds = vec![
         vec![
-            PartitionPrediction { bytes: 1000, ratio: 10.0 },
-            PartitionPrediction { bytes: 2000, ratio: 40.0 },
+            PartitionPrediction {
+                bytes: 1000,
+                ratio: 10.0,
+            },
+            PartitionPrediction {
+                bytes: 2000,
+                ratio: 40.0,
+            },
         ],
         vec![
-            PartitionPrediction { bytes: 1500, ratio: 12.0 },
-            PartitionPrediction { bytes: 500, ratio: 50.0 },
+            PartitionPrediction {
+                bytes: 1500,
+                ratio: 12.0,
+            },
+            PartitionPrediction {
+                bytes: 500,
+                ratio: 50.0,
+            },
         ],
     ];
     let policy = ExtraSpacePolicy::new(1.25);

@@ -58,7 +58,11 @@ fn prediction_overhead_below_budget() {
     }
     let comp_t = t1.elapsed().as_secs_f64() / 3.0;
     let frac = sample_t / comp_t;
-    assert!(frac < 0.25, "prediction overhead {:.1}% of compression", frac * 100.0);
+    assert!(
+        frac < 0.25,
+        "prediction overhead {:.1}% of compression",
+        frac * 100.0
+    );
 }
 
 #[test]
@@ -70,8 +74,7 @@ fn ratio_prediction_transfers_to_rtm() {
     let s = sample_quantization(&ds.fields[0].data, &dims, &cfg, 0.2).unwrap();
     let pred = predict_default(&s, 32);
     let (_, st) = compress_with_stats(&ds.fields[0].data, &dims, &cfg).unwrap();
-    let err = (pred.bytes as f64 - st.compressed_bytes as f64).abs()
-        / st.compressed_bytes as f64;
+    let err = (pred.bytes as f64 - st.compressed_bytes as f64).abs() / st.compressed_bytes as f64;
     assert!(err < 0.3, "rtm size prediction error {err:.3}");
 }
 
