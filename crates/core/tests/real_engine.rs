@@ -46,6 +46,7 @@ fn config(method: Method, path: PathBuf) -> RealConfig {
         policy: ExtraSpacePolicy::new(1.25),
         bandwidth: BandwidthModel::tiny_for_tests(),
         throttle_scale: 0.5,
+        sz_threads: 1,
         path,
     }
 }

@@ -74,6 +74,22 @@ pub fn gather_tile(
     chunk_dims: &[u64],
     chunk_idx: u64,
 ) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    gather_tile_into(data, dims, elem, chunk_dims, chunk_idx, &mut out)?;
+    Ok(out)
+}
+
+/// Extract chunk `chunk_idx` into `out` (cleared first), reusing the
+/// buffer's allocation — the per-tile path of the compression pipeline
+/// calls this once per chunk per worker.
+pub fn gather_tile_into(
+    data: &[u8],
+    dims: &[u64],
+    elem: usize,
+    chunk_dims: &[u64],
+    chunk_idx: u64,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     let d = pad3(dims);
     let g = tile_geom(dims, chunk_dims, chunk_idx)?;
     let expected = d.iter().product::<u64>() as usize * elem;
@@ -84,7 +100,8 @@ pub fn gather_tile(
         });
     }
     let row_bytes = g.extent[2] as usize * elem;
-    let mut out = Vec::with_capacity(g.len() as usize * elem);
+    out.clear();
+    out.reserve(g.len() as usize * elem);
     for z in 0..g.extent[0] {
         for y in 0..g.extent[1] {
             let gz = g.start[0] + z;
@@ -93,7 +110,7 @@ pub fn gather_tile(
             out.extend_from_slice(&data[off..off + row_bytes]);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Insert a tile back into the full row-major `out` buffer.

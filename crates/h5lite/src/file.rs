@@ -6,14 +6,16 @@
 //! of a writer share state, so rank threads in a parallel write all
 //! hold the same file — mirroring parallel HDF5's shared-file model.
 
-use crate::chunk::{gather_tile, scatter_tile};
+use crate::asyncq::EventSet;
+use crate::chunk::{gather_tile_into, scatter_tile};
 use crate::error::{H5Error, Result};
-use crate::filter::FilterRegistry;
+use crate::filter::{FilterRegistry, FilterScratch};
 use crate::meta::{
     deserialize_table, serialize_table, AttrValue, ChunkInfo, DatasetMeta, Dtype, FilterSpec,
 };
+use crate::pipeline::compress_chunks;
 use parking_lot::Mutex;
-use pfsim::SharedFile;
+use pfsim::{SharedFile, Throttle};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -195,9 +197,10 @@ impl H5File {
                 actual: data.len() as u64,
             });
         }
+        let mut scratch = FilterScratch::new();
         match chunk_dims {
             None => {
-                let stored = self.inner.registry.apply(&filters, data.to_vec())?;
+                let stored = self.inner.registry.apply(&filters, data, &mut scratch)?;
                 let offset = self.inner.file.reserve(stored.len() as u64);
                 self.inner.file.write_at(offset, &stored)?;
                 self.record_chunk(
@@ -212,10 +215,11 @@ impl H5File {
             }
             Some(cd) => {
                 let n_chunks: u64 = dims.iter().zip(&cd).map(|(&d, &c)| d.div_ceil(c)).product();
+                let mut tile = Vec::new();
                 for c in 0..n_chunks {
-                    let tile = gather_tile(data, &dims, elem, &cd, c)?;
+                    gather_tile_into(data, &dims, elem, &cd, c, &mut tile)?;
                     let raw = tile.len() as u64;
-                    let stored = self.inner.registry.apply(&filters, tile)?;
+                    let stored = self.inner.registry.apply(&filters, &tile, &mut scratch)?;
                     let offset = self.inner.file.reserve(stored.len() as u64);
                     self.inner.file.write_at(offset, &stored)?;
                     self.record_chunk(
@@ -231,6 +235,66 @@ impl H5File {
             }
         }
         Ok(())
+    }
+
+    /// Write a full dataset through the parallel compression pipeline:
+    /// chunk tiles fan out to `workers` compression threads and every
+    /// compressed chunk streams straight into the `events` async write
+    /// queue — compression of chunk *k+1* overlaps the write of chunk
+    /// *k*. Chunks are reserved and recorded in chunk-index order, so
+    /// the produced file is byte-identical to [`H5File::write_full`]
+    /// at any worker count. Call `events.wait()` before `close()`.
+    pub fn write_full_pipelined(
+        &self,
+        id: DatasetId,
+        data: &[u8],
+        workers: usize,
+        events: &EventSet,
+        throttle: Option<Arc<Throttle>>,
+    ) -> Result<()> {
+        self.check_open()?;
+        let (dims, chunk_dims, filters, elem, expected) = {
+            let ds = self.inner.datasets.lock();
+            let d = ds.get(id.0).ok_or(H5Error::Corrupt("dataset id"))?;
+            (
+                d.dims.clone(),
+                d.chunk_dims.clone(),
+                d.filters.clone(),
+                d.dtype.size(),
+                d.raw_bytes(),
+            )
+        };
+        if data.len() as u64 != expected {
+            return Err(H5Error::ShapeMismatch {
+                expected,
+                actual: data.len() as u64,
+            });
+        }
+        // A contiguous dataset is a single tile spanning the extents.
+        let cd = chunk_dims.unwrap_or_else(|| dims.clone());
+        compress_chunks(
+            &self.inner.registry,
+            &filters,
+            data,
+            &dims,
+            elem,
+            &cd,
+            workers,
+            |c, stored, raw| {
+                let len = stored.len() as u64;
+                let offset = self.inner.file.reserve(len);
+                events.write_at(&self.inner.file, offset, stored, throttle.clone());
+                self.record_chunk(
+                    id,
+                    ChunkInfo {
+                        index: c,
+                        offset,
+                        stored: len,
+                        raw,
+                    },
+                )
+            },
+        )
     }
 
     /// Write pre-filtered chunk bytes at an explicit offset and record
@@ -594,6 +658,79 @@ mod tests {
                 assert_eq!(vals[(c * chunk_elems + i) as usize], (c * 1000 + i) as f32);
             }
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pipelined_write_is_byte_identical_to_serial() {
+        let data: Vec<f32> = (0..24 * 20 * 16).map(|i| (i as f32 * 0.01).sin()).collect();
+        let bytes = f32_bytes(&data);
+        let params = SzFilterParams {
+            absolute: true,
+            bound: 1e-3,
+            dims: vec![8, 10, 16],
+        }
+        .to_bytes();
+        let spec = || {
+            DatasetSpec::new("t", Dtype::F32, &[24, 20, 16])
+                .chunked(&[8, 10, 16])
+                .with_filter(FilterSpec {
+                    id: SZLITE_FILTER_ID,
+                    params: params.clone(),
+                })
+        };
+
+        let serial_path = tmp("pipe-serial");
+        let f = H5File::create(&serial_path).unwrap();
+        let id = f.create_dataset(spec()).unwrap();
+        f.write_full(id, &bytes).unwrap();
+        f.close().unwrap();
+        let serial = std::fs::read(&serial_path).unwrap();
+        std::fs::remove_file(&serial_path).unwrap();
+
+        for workers in [1usize, 3, 8] {
+            let path = tmp(&format!("pipe-{workers}"));
+            let f = H5File::create(&path).unwrap();
+            let id = f.create_dataset(spec()).unwrap();
+            let es = crate::EventSet::new(2);
+            f.write_full_pipelined(id, &bytes, workers, &es, None)
+                .unwrap();
+            es.wait().unwrap();
+            f.close().unwrap();
+            let parallel = std::fs::read(&path).unwrap();
+            assert_eq!(parallel, serial, "workers={workers}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn pipelined_contiguous_write_matches_serial() {
+        // The chunk_dims = None branch treats the dataset as a single
+        // tile spanning the extents; its file must match write_full's
+        // dedicated contiguous path byte for byte.
+        let data = vec![9u8; 6000];
+        let spec = || {
+            DatasetSpec::new("c", Dtype::U8, &[6000]).with_filter(FilterSpec {
+                id: LZSS_FILTER_ID,
+                params: vec![],
+            })
+        };
+        let serial_path = tmp("contig-serial");
+        let f = H5File::create(&serial_path).unwrap();
+        let id = f.create_dataset(spec()).unwrap();
+        f.write_full(id, &data).unwrap();
+        f.close().unwrap();
+        let serial = std::fs::read(&serial_path).unwrap();
+        std::fs::remove_file(&serial_path).unwrap();
+
+        let path = tmp("contig-pipe");
+        let f = H5File::create(&path).unwrap();
+        let id = f.create_dataset(spec()).unwrap();
+        let es = crate::EventSet::new(1);
+        f.write_full_pipelined(id, &data, 4, &es, None).unwrap();
+        es.wait().unwrap();
+        f.close().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), serial);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -20,12 +20,44 @@ pub const SHUFFLE_FILTER_ID: u32 = 2;
 /// LZSS lossless filter id (stand-in for deflate, HDF5 id 1).
 pub const LZSS_FILTER_ID: u32 = 1;
 
+/// Reusable per-worker workspace for the write-path filter pipeline.
+///
+/// One `FilterScratch` per thread lets every chunk run the whole
+/// filter chain without re-allocating compressor state: the szlite
+/// workspace (quantization codes, Huffman frequency tables, bit
+/// buffer), the byte→float staging buffer, and the inter-stage
+/// ping-pong buffer all persist across chunks.
+#[derive(Debug, Default)]
+pub struct FilterScratch {
+    /// szlite compressor workspace.
+    pub sz: szlite::Scratch,
+    /// f32 staging for the SZ filter's byte→float conversion.
+    floats: Vec<f32>,
+    /// Recycled intermediate buffer for multi-stage chains.
+    stage: Vec<u8>,
+}
+
+impl FilterScratch {
+    /// Empty workspace; buffers grow to steady-state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A chunk filter: bytes → bytes, invertible.
 pub trait Filter: Send + Sync {
     /// Registered id.
     fn id(&self) -> u32;
-    /// Forward (compress/transform) pass.
-    fn encode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>>;
+    /// Forward (compress/transform) pass: encode `data`, appending the
+    /// result to `out` (cleared by the caller) and reusing `scratch`
+    /// buffers instead of allocating per call.
+    fn encode(
+        &self,
+        data: &[u8],
+        params: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut FilterScratch,
+    ) -> Result<()>;
     /// Inverse pass.
     fn decode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>>;
 }
@@ -101,17 +133,25 @@ impl Filter for SzliteFilter {
         SZLITE_FILTER_ID
     }
 
-    fn encode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
+    fn encode(
+        &self,
+        data: &[u8],
+        params: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut FilterScratch,
+    ) -> Result<()> {
         let p = SzFilterParams::from_bytes(params)?;
         if !data.len().is_multiple_of(4) {
             return Err(H5Error::Filter("sz filter requires f32 data".into()));
         }
-        let floats: Vec<f32> = data
-            .chunks_exact(4)
-            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
-            .collect();
+        scratch.floats.clear();
+        scratch.floats.extend(
+            data.chunks_exact(4)
+                .map(|b| f32::from_le_bytes(b.try_into().unwrap())),
+        );
         let dims = Dims::from_slice(&p.dims)?;
-        Ok(szlite::compress_f32(&floats, &dims, &p.config())?)
+        szlite::compress_into(&scratch.floats, &dims, &p.config(), &mut scratch.sz, out)?;
+        Ok(())
     }
 
     fn decode(&self, data: &[u8], _params: &[u8]) -> Result<Vec<u8>> {
@@ -142,7 +182,13 @@ impl Filter for ShuffleFilter {
         SHUFFLE_FILTER_ID
     }
 
-    fn encode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
+    fn encode(
+        &self,
+        data: &[u8],
+        params: &[u8],
+        out: &mut Vec<u8>,
+        _scratch: &mut FilterScratch,
+    ) -> Result<()> {
         let es = Self::elem_size(params)?;
         if !data.len().is_multiple_of(es) {
             return Err(H5Error::Filter(
@@ -150,13 +196,15 @@ impl Filter for ShuffleFilter {
             ));
         }
         let n = data.len() / es;
-        let mut out = vec![0u8; data.len()];
+        let base = out.len();
+        out.resize(base + data.len(), 0);
+        let dst = &mut out[base..];
         for i in 0..n {
             for b in 0..es {
-                out[b * n + i] = data[i * es + b];
+                dst[b * n + i] = data[i * es + b];
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn decode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
@@ -185,8 +233,15 @@ impl Filter for LzssFilter {
         LZSS_FILTER_ID
     }
 
-    fn encode(&self, data: &[u8], _params: &[u8]) -> Result<Vec<u8>> {
-        Ok(szlite::lossless::compress(data))
+    fn encode(
+        &self,
+        data: &[u8],
+        _params: &[u8],
+        out: &mut Vec<u8>,
+        _scratch: &mut FilterScratch,
+    ) -> Result<()> {
+        out.extend_from_slice(&szlite::lossless::compress(data));
+        Ok(())
     }
 
     fn decode(&self, data: &[u8], _params: &[u8]) -> Result<Vec<u8>> {
@@ -224,12 +279,41 @@ impl FilterRegistry {
     }
 
     /// Apply a pipeline in declaration order (write path).
-    pub fn apply(&self, specs: &[FilterSpec], data: Vec<u8>) -> Result<Vec<u8>> {
-        let mut cur = data;
-        for s in specs {
-            cur = self.get(s.id)?.encode(&cur, &s.params)?;
+    ///
+    /// The input is borrowed and `scratch` supplies every intermediate
+    /// buffer; the returned vector is the only allocation that escapes
+    /// (it is handed to the async write queue, which needs ownership).
+    pub fn apply(
+        &self,
+        specs: &[FilterSpec],
+        data: &[u8],
+        scratch: &mut FilterScratch,
+    ) -> Result<Vec<u8>> {
+        let mut cur = Vec::new();
+        if specs.is_empty() {
+            cur.extend_from_slice(data);
+            return Ok(cur);
         }
-        Ok(cur)
+        let mut prev = std::mem::take(&mut scratch.stage);
+        prev.clear();
+        let mut first = true;
+        for s in specs {
+            cur.clear();
+            let input: &[u8] = if first { data } else { &prev };
+            let res = self
+                .get(s.id)
+                .and_then(|f| f.encode(input, &s.params, &mut cur, scratch));
+            if let Err(e) = res {
+                scratch.stage = prev;
+                return Err(e);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+            first = false;
+        }
+        // `prev` holds the final stage's output; recycle the other
+        // buffer for the next call.
+        scratch.stage = cur;
+        Ok(prev)
     }
 
     /// Invert a pipeline in reverse order (read path).
@@ -248,6 +332,13 @@ mod tests {
 
     fn f32s_to_bytes(v: &[f32]) -> Vec<u8> {
         v.iter().flat_map(|f| f.to_le_bytes()).collect()
+    }
+
+    fn enc(f: &dyn Filter, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut scratch = FilterScratch::new();
+        f.encode(data, params, &mut out, &mut scratch)?;
+        Ok(out)
     }
 
     #[test]
@@ -271,7 +362,7 @@ mod tests {
         }
         .to_bytes();
         let f = SzliteFilter;
-        let enc = f.encode(&bytes, &params).unwrap();
+        let enc = enc(&f, &bytes, &params).unwrap();
         assert!(enc.len() < bytes.len());
         let dec = f.decode(&enc, &params).unwrap();
         assert_eq!(dec.len(), bytes.len());
@@ -286,7 +377,7 @@ mod tests {
     fn shuffle_roundtrip() {
         let data: Vec<u8> = (0..64).collect();
         let f = ShuffleFilter;
-        let enc = f.encode(&data, &[4]).unwrap();
+        let enc = enc(&f, &data, &[4]).unwrap();
         assert_ne!(enc, data);
         assert_eq!(f.decode(&enc, &[4]).unwrap(), data);
     }
@@ -295,7 +386,7 @@ mod tests {
     fn lzss_filter_roundtrip() {
         let data = vec![7u8; 10_000];
         let f = LzssFilter;
-        let enc = f.encode(&data, &[]).unwrap();
+        let enc = enc(&f, &data, &[]).unwrap();
         assert!(enc.len() < 200);
         assert_eq!(f.decode(&enc, &[]).unwrap(), data);
     }
@@ -314,9 +405,16 @@ mod tests {
                 params: vec![],
             },
         ];
-        let enc = reg.apply(&specs, data.clone()).unwrap();
+        let mut scratch = FilterScratch::new();
+        let enc = reg.apply(&specs, &data, &mut scratch).unwrap();
         let dec = reg.invert(&specs, enc).unwrap();
         assert_eq!(dec, data);
+
+        // A dirty scratch reused on the same input yields identical
+        // bytes — the determinism guarantee the pipeline relies on.
+        let enc2 = reg.apply(&specs, &data, &mut scratch).unwrap();
+        let fresh = reg.apply(&specs, &data, &mut FilterScratch::new()).unwrap();
+        assert_eq!(enc2, fresh);
     }
 
     #[test]
@@ -327,7 +425,7 @@ mod tests {
             params: vec![],
         }];
         assert!(matches!(
-            reg.apply(&specs, vec![1, 2, 3]),
+            reg.apply(&specs, &[1, 2, 3], &mut FilterScratch::new()),
             Err(H5Error::UnknownFilter(999))
         ));
     }
@@ -341,6 +439,6 @@ mod tests {
             dims: vec![3],
         }
         .to_bytes();
-        assert!(f.encode(&[1, 2, 3], &params).is_err());
+        assert!(enc(&f, &[1, 2, 3], &params).is_err());
     }
 }

@@ -16,6 +16,10 @@
 //! * **event-set asynchronous writes** on background threads — the
 //!   async-VOL capability the paper's overlap design builds on
 //!   ([`asyncq`]);
+//! * a **parallel chunk-compression pipeline** ([`pipeline`]): chunk
+//!   tiles fan out to a scratch-reusing worker pool and stream into
+//!   the async write queue in chunk order, so compression overlaps
+//!   writes while keeping files byte-identical to the serial path;
 //! * **parallel shared-file writes** at pre-computed offsets via
 //!   [`H5File::write_chunk_at`] from many rank threads.
 //!
@@ -28,11 +32,14 @@ pub mod error;
 pub mod file;
 pub mod filter;
 pub mod meta;
+pub mod pipeline;
 
 pub use asyncq::EventSet;
 pub use error::{H5Error, Result};
 pub use file::{DatasetId, DatasetSpec, H5File, H5Reader, MAGIC, SUPERBLOCK, VERSION};
 pub use filter::{
-    Filter, FilterRegistry, SzFilterParams, LZSS_FILTER_ID, SHUFFLE_FILTER_ID, SZLITE_FILTER_ID,
+    Filter, FilterRegistry, FilterScratch, SzFilterParams, LZSS_FILTER_ID, SHUFFLE_FILTER_ID,
+    SZLITE_FILTER_ID,
 };
 pub use meta::{AttrValue, ChunkInfo, DatasetMeta, Dtype, FilterSpec};
+pub use pipeline::{compress_chunks, ordered_fanout, workers_from_env, workers_from_env_or};

@@ -1,7 +1,7 @@
 //! The compression pipeline: Lorenzo prediction → error-bounded
 //! quantization → canonical Huffman → LZSS.
 
-use crate::config::{Config, Dims};
+use crate::config::{Config, Dims, ErrorBound};
 use crate::element::Element;
 use crate::error::{Result, SzError};
 use crate::huffman::HuffmanEncoder;
@@ -47,6 +47,32 @@ impl CompressStats {
     }
 }
 
+/// Reusable compressor workspace: quantization codes, literal bytes,
+/// the reconstruction grid, Huffman frequency counts, the serialized
+/// payload and the bit-stream backing buffer.
+///
+/// The per-chunk hot path allocates all of this state afresh when
+/// going through [`compress_with_stats`]; a worker that compresses
+/// many chunks keeps one `Scratch` and calls [`compress_into`] so the
+/// buffers are recycled. The scratch never changes the produced
+/// stream — output is byte-identical either way.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    codes: Vec<u32>,
+    literals: Vec<u8>,
+    recon: Vec<f64>,
+    freqs: Vec<u64>,
+    payload: Vec<u8>,
+    bits: Vec<u8>,
+}
+
+impl Scratch {
+    /// Empty workspace; buffers grow to steady-state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compress `data` of shape `dims` under configuration `cfg`.
 pub fn compress<T: Element>(data: &[T], dims: &Dims, cfg: &Config) -> Result<Vec<u8>> {
     compress_with_stats(data, dims, cfg).map(|(bytes, _)| bytes)
@@ -58,6 +84,22 @@ pub fn compress_with_stats<T: Element>(
     dims: &Dims,
     cfg: &Config,
 ) -> Result<(Vec<u8>, CompressStats)> {
+    let mut scratch = Scratch::new();
+    let mut out = Vec::new();
+    let stats = compress_into(data, dims, cfg, &mut scratch, &mut out)?;
+    Ok((out, stats))
+}
+
+/// Compress `data`, writing the stream into `out` (cleared first) and
+/// reusing `scratch` for all transient compressor state.
+pub fn compress_into<T: Element>(
+    data: &[T],
+    dims: &Dims,
+    cfg: &Config,
+    scratch: &mut Scratch,
+    out: &mut Vec<u8>,
+) -> Result<CompressStats> {
+    out.clear();
     if data.is_empty() {
         return Err(SzError::EmptyInput);
     }
@@ -68,30 +110,48 @@ pub fn compress_with_stats<T: Element>(
         });
     }
 
-    // Resolve the error bound against the data range.
-    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
-    for &v in data {
-        let v = v.to_f64();
-        if v.is_finite() {
-            min = min.min(v);
-            max = max.max(v);
+    // Resolve the error bound. Only range-relative bounds depend on
+    // min/max, so the range scan runs just for them; with an absolute
+    // bound the prediction pass below is the single data traversal.
+    let eb = match cfg.error_bound {
+        ErrorBound::Abs(_) => cfg.error_bound.resolve(0.0, 0.0)?,
+        ErrorBound::Rel(_) => {
+            let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in data {
+                let v = v.to_f64();
+                if v.is_finite() {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+            }
+            if !min.is_finite() {
+                // All-NaN/Inf input: still valid, everything becomes a
+                // literal.
+                min = 0.0;
+                max = 0.0;
+            }
+            cfg.error_bound.resolve(min, max)?
         }
-    }
-    if !min.is_finite() {
-        // All-NaN/Inf input: still valid, everything becomes a literal.
-        min = 0.0;
-        max = 0.0;
-    }
-    let eb = cfg.error_bound.resolve(min, max)?;
+    };
 
     let quant = Quantizer::new(eb, cfg.radius);
     let lorenzo = Lorenzo::new(dims);
     let st = *lorenzo.strides();
 
     let n = data.len();
-    let mut codes: Vec<u32> = Vec::with_capacity(n);
-    let mut literals: Vec<u8> = Vec::new();
-    let mut recon = vec![0.0f64; n];
+    let Scratch {
+        codes,
+        literals,
+        recon,
+        freqs,
+        payload,
+        bits,
+    } = scratch;
+    codes.clear();
+    codes.reserve(n);
+    literals.clear();
+    recon.clear();
+    recon.resize(n, 0.0);
     let mut n_unpred = 0usize;
 
     let mut idx = 0usize;
@@ -99,7 +159,7 @@ pub fn compress_with_stats<T: Element>(
         for y in 0..st.ext[1] {
             for x in 0..st.ext[2] {
                 let xv = data[idx].to_f64();
-                let pred = lorenzo.predict(&recon, z, y, x);
+                let pred = lorenzo.predict(recon, z, y, x);
                 let mut stored = false;
                 if xv.is_finite() {
                     if let Some((code, r64)) = quant.quantize(xv, pred) {
@@ -115,7 +175,7 @@ pub fn compress_with_stats<T: Element>(
                 }
                 if !stored {
                     codes.push(UNPREDICTABLE);
-                    data[idx].write_le(&mut literals);
+                    data[idx].write_le(literals);
                     recon[idx] = if xv.is_finite() { xv } else { 0.0 };
                     n_unpred += 1;
                 }
@@ -125,45 +185,50 @@ pub fn compress_with_stats<T: Element>(
     }
 
     // Huffman stage.
-    let mut freqs = vec![0u64; quant.alphabet()];
-    for &c in &codes {
+    freqs.clear();
+    freqs.resize(quant.alphabet(), 0);
+    for &c in codes.iter() {
         freqs[c as usize] += 1;
     }
-    let enc = HuffmanEncoder::from_freqs(&freqs);
-    let mut payload = Vec::new();
-    enc.serialize(&mut payload);
+    let enc = HuffmanEncoder::from_freqs(freqs);
+    payload.clear();
+    enc.serialize(payload);
     let table_bytes = payload.len();
-    let mut bw = BitWriter::new();
-    enc.encode(&codes, &mut bw);
+    let mut bw = BitWriter::with_buffer(std::mem::take(bits));
+    enc.encode(codes, &mut bw);
     let code_bits = bw.bit_len() as u64;
     let code_bytes = bw.finish();
-    put_varint(&mut payload, codes.len() as u64);
-    put_varint(&mut payload, code_bytes.len() as u64);
+    put_varint(payload, codes.len() as u64);
+    put_varint(payload, code_bytes.len() as u64);
     payload.extend_from_slice(&code_bytes);
-    put_varint(&mut payload, n_unpred as u64);
-    payload.extend_from_slice(&literals);
+    // Reclaim the bit buffer's allocation for the next run.
+    *bits = code_bytes;
+    put_varint(payload, n_unpred as u64);
+    payload.extend_from_slice(literals);
 
     // Lossless stage.
-    let (mode, body) = if cfg.lossless {
-        (1u8, lossless::compress(&payload))
+    let lz;
+    let (mode, body): (u8, &[u8]) = if cfg.lossless {
+        lz = lossless::compress(payload);
+        (1u8, &lz)
     } else {
         (0u8, payload)
     };
 
     // Header.
-    let mut out = Vec::with_capacity(body.len() + 64);
-    put_u32(&mut out, MAGIC);
+    out.reserve(body.len() + 64);
+    put_u32(out, MAGIC);
     out.push(VERSION);
     out.push(T::DTYPE);
     out.push(dims.ndims() as u8);
     for &d in dims.extents() {
-        put_varint(&mut out, d as u64);
+        put_varint(out, d as u64);
     }
-    put_f64(&mut out, eb);
-    put_u32(&mut out, cfg.radius);
+    put_f64(out, eb);
+    put_u32(out, cfg.radius);
     out.push(mode);
-    put_varint(&mut out, body.len() as u64);
-    out.extend_from_slice(&body);
+    put_varint(out, body.len() as u64);
+    out.extend_from_slice(body);
 
     let stats = CompressStats {
         n_points: n,
@@ -174,7 +239,7 @@ pub fn compress_with_stats<T: Element>(
         code_bits,
         eb,
     };
-    Ok((out, stats))
+    Ok(stats)
 }
 
 /// Convenience wrapper: compress an `f32` array.

@@ -71,16 +71,16 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
         }
     }
 
-    let mut freqs_work: Vec<u64> = freqs.to_vec();
+    // Work on the caller's frequencies directly; the flattened copy is
+    // only materialized on the rare too-deep retry path.
+    let mut freqs_work: Option<Vec<u64>> = None;
     loop {
+        let f: &[u64] = freqs_work.as_deref().unwrap_or(freqs);
         let mut parent = vec![usize::MAX; used.len() * 2];
         let mut heap: BinaryHeap<Node> = used
             .iter()
             .enumerate()
-            .map(|(i, &s)| Node {
-                freq: freqs_work[s],
-                id: i,
-            })
+            .map(|(i, &s)| Node { freq: f[s], id: i })
             .collect();
         let mut next_id = used.len();
         while heap.len() > 1 {
@@ -114,7 +114,8 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
             return lens;
         }
         // Flatten the distribution and retry; converges quickly.
-        for f in freqs_work.iter_mut() {
+        let fw = freqs_work.get_or_insert_with(|| freqs.to_vec());
+        for f in fw.iter_mut() {
             if *f > 0 {
                 *f = (*f >> 1) + 1;
             }
@@ -178,17 +179,20 @@ impl HuffmanEncoder {
 
     /// Serialize the table: varint count then (delta-coded symbol, len).
     pub fn serialize(&self, out: &mut Vec<u8>) {
-        let present: Vec<(u32, u8)> = self
+        let n_present = self.codes.iter().filter(|&&(_, l)| l > 0).count();
+        // Two header varints plus, per entry, a symbol delta (≤ 5 bytes
+        // for any alphabet we admit) and one length byte.
+        out.reserve(20 + n_present * 6);
+        put_varint(out, self.codes.len() as u64);
+        put_varint(out, n_present as u64);
+        let mut prev = 0u32;
+        for (sym, len) in self
             .codes
             .iter()
             .enumerate()
-            .filter(|(_, &(_, l))| l > 0)
+            .filter(|&(_, &(_, l))| l > 0)
             .map(|(s, &(_, l))| (s as u32, l))
-            .collect();
-        put_varint(out, self.codes.len() as u64);
-        put_varint(out, present.len() as u64);
-        let mut prev = 0u32;
-        for &(sym, len) in &present {
+        {
             put_varint(out, u64::from(sym - prev));
             out.push(len);
             prev = sym;
@@ -206,7 +210,8 @@ impl HuffmanEncoder {
 
     /// Table size when serialized, in bytes (used by the ratio model).
     pub fn table_bytes(&self) -> usize {
-        let mut v = Vec::new();
+        let n_present = self.codes.iter().filter(|&&(_, l)| l > 0).count();
+        let mut v = Vec::with_capacity(20 + n_present * 6);
         self.serialize(&mut v);
         v.len()
     }
@@ -249,14 +254,17 @@ impl HuffmanDecoder {
             }
         }
         // Canonical ordering: by (len, symbol).
-        let mut by_len: Vec<(u8, u32)> = lens
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l > 0)
-            .map(|(s, &l)| (l, s as u32))
-            .collect();
+        let n_present: usize = count.iter().sum();
+        let mut by_len: Vec<(u8, u32)> = Vec::with_capacity(n_present);
+        by_len.extend(
+            lens.iter()
+                .enumerate()
+                .filter(|(_, &l)| l > 0)
+                .map(|(s, &l)| (l, s as u32)),
+        );
         by_len.sort_unstable();
-        let symbols: Vec<u32> = by_len.iter().map(|&(_, s)| s).collect();
+        let mut symbols: Vec<u32> = Vec::with_capacity(n_present);
+        symbols.extend(by_len.iter().map(|&(_, s)| s));
 
         let mut first_code = [0u64; MAX_CODE_LEN as usize + 1];
         let mut first_index = [0usize; MAX_CODE_LEN as usize + 1];

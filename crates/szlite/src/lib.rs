@@ -55,7 +55,10 @@ pub mod stream;
 mod compressor;
 mod decompressor;
 
-pub use compressor::{compress, compress_f32, compress_f64, compress_with_stats, CompressStats};
+pub use compressor::{
+    compress, compress_f32, compress_f64, compress_into, compress_with_stats, CompressStats,
+    Scratch,
+};
 pub use config::{Config, Dims, ErrorBound};
 pub use decompressor::{decompress, decompress_f32, decompress_f64, stream_info, StreamInfo};
 pub use element::Element;
@@ -193,6 +196,31 @@ mod tests {
         assert!(st.ratio() > 50.0, "ratio {}", st.ratio());
         let (restored, _) = decompress_f32(&bytes).unwrap();
         assert!(restored.iter().all(|&v| (v - 42.0).abs() < 1e-2));
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        // One Scratch reused across runs of different shapes, bounds
+        // and dirtiness levels must reproduce the fresh-buffer stream
+        // exactly — the pipeline's determinism guarantee rests on this.
+        let mut scratch = Scratch::new();
+        let cases: Vec<(Vec<f32>, Dims, Config)> = vec![
+            (wave3d(12, 10, 14), Dims::d3(12, 10, 14), Config::abs(1e-3)),
+            (wave3d(4, 5, 6), Dims::d3(4, 5, 6), Config::rel(1e-2)),
+            (
+                (0..777).map(|i| (i as f32).sin() * 50.0).collect(),
+                Dims::d1(777),
+                Config::abs(1e-4).with_lossless(false),
+            ),
+            (vec![3.25; 64], Dims::d2(8, 8), Config::rel(1e-3)),
+        ];
+        for (data, dims, cfg) in &cases {
+            let (fresh, fresh_stats) = compress_with_stats(data, dims, cfg).unwrap();
+            let mut out = Vec::new();
+            let stats = compress_into(data, dims, cfg, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, fresh);
+            assert_eq!(stats, fresh_stats);
+        }
     }
 
     #[test]

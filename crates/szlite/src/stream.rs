@@ -75,12 +75,17 @@ pub fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
 }
 
 /// MSB-first bit writer over a growable byte vector.
+///
+/// Bits accumulate in a 64-bit word and flush to the byte vector a
+/// whole byte at a time, so a multi-bit code costs a couple of shifts
+/// rather than a per-bit loop. The backing buffer can be recycled
+/// across streams via [`BitWriter::with_buffer`].
 #[derive(Debug, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bits accumulated in `acc`, 0..=7 after each push.
-    acc: u8,
-    nbits: u8,
+    /// Bit accumulator; only the low `nbits` bits are meaningful.
+    acc: u64,
+    nbits: u32,
 }
 
 impl BitWriter {
@@ -89,18 +94,34 @@ impl BitWriter {
         Self::default()
     }
 
+    /// New writer reusing `buf` (cleared first) as backing storage, so
+    /// per-chunk callers can recycle the allocation between streams.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            bytes: buf,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
     /// Write the low `len` bits of `code`, MSB first. `len <= 64`.
     pub fn write_bits(&mut self, code: u64, len: u8) {
         debug_assert!(len <= 64);
-        for i in (0..len).rev() {
-            let bit = ((code >> i) & 1) as u8;
-            self.acc = (self.acc << 1) | bit;
-            self.nbits += 1;
-            if self.nbits == 8 {
-                self.bytes.push(self.acc);
-                self.acc = 0;
-                self.nbits = 0;
-            }
+        if len > 32 {
+            self.write_bits(code >> 32, len - 32);
+            self.write_bits(code & 0xFFFF_FFFF, 32);
+            return;
+        }
+        if len == 0 {
+            return;
+        }
+        // nbits < 8 between calls, so nbits + len <= 39 fits in acc.
+        self.acc = (self.acc << len) | (code & ((1u64 << len) - 1));
+        self.nbits += u32::from(len);
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push((self.acc >> self.nbits) as u8);
         }
     }
 
@@ -112,8 +133,7 @@ impl BitWriter {
     /// Flush the final partial byte (zero padded) and return the buffer.
     pub fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
-            self.acc <<= 8 - self.nbits;
-            self.bytes.push(self.acc);
+            self.bytes.push((self.acc << (8 - self.nbits)) as u8);
         }
         self.bytes
     }
@@ -215,6 +235,25 @@ mod tests {
         assert_eq!(r.read_bits(16).unwrap(), 0xffff);
         assert_eq!(r.read_bits(1).unwrap(), 0);
         assert_eq!(r.read_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn bit_writer_wide_codes_and_buffer_reuse() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF_CAFE_F00D, 64);
+        w.write_bits(0b11, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+
+        // A writer recycling that buffer produces the same stream as a
+        // fresh one.
+        let mut w2 = BitWriter::with_buffer(bytes);
+        w2.write_bits(0b1010101, 7);
+        let mut w3 = BitWriter::new();
+        w3.write_bits(0b1010101, 7);
+        assert_eq!(w2.finish(), w3.finish());
     }
 
     #[test]

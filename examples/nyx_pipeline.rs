@@ -54,6 +54,7 @@ fn main() {
             policy: ExtraSpacePolicy::default(),
             bandwidth: BandwidthModel::tiny_for_tests(),
             throttle_scale: 0.01, // 4 MB/s aggregate: I/O-bound like a busy PFS
+            sz_threads: 0,        // honor SZ_THREADS, default serial
             path: path.clone(),
         };
         let res = run_real(&data, &cfg).expect("run failed");

@@ -7,7 +7,8 @@
 //! ```
 
 use repro_suite::h5lite::{
-    DatasetSpec, Dtype, FilterSpec, H5File, H5Reader, SzFilterParams, SZLITE_FILTER_ID,
+    workers_from_env, DatasetSpec, Dtype, EventSet, FilterSpec, H5File, H5Reader, SzFilterParams,
+    SZLITE_FILTER_ID,
 };
 use repro_suite::szlite::{compress_with_stats, decompress_f32, stats, Config, Dims};
 use repro_suite::workloads::{nyx, NyxParams};
@@ -68,7 +69,13 @@ fn main() {
         )
         .unwrap();
     let bytes: Vec<u8> = field.data.iter().flat_map(|v| v.to_le_bytes()).collect();
-    file.write_full(id, &bytes).unwrap();
+    // The parallel compression pipeline: SZ_THREADS compression
+    // workers streaming into ES_WORKERS async write threads; output is
+    // byte-identical to the serial `write_full` at any worker count.
+    let events = EventSet::from_env();
+    file.write_full_pipelined(id, &bytes, workers_from_env(), &events, None)
+        .unwrap();
+    events.wait().unwrap();
     file.close().unwrap();
 
     // 5. Read back through the inverse filter pipeline.

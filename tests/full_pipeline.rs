@@ -41,6 +41,7 @@ fn base_config(method: Method, path: PathBuf) -> RealConfig {
         policy: ExtraSpacePolicy::default(),
         bandwidth: BandwidthModel::tiny_for_tests(),
         throttle_scale: 1.0,
+        sz_threads: 1,
         path,
     }
 }
@@ -111,6 +112,30 @@ fn deterministic_compressed_sizes_across_runs() {
     assert_eq!(r1.compressed_bytes, r2.compressed_bytes);
     assert_eq!(r1.n_overflow, r2.n_overflow);
     assert_eq!(r1.file_bytes, r2.file_bytes);
+}
+
+#[test]
+fn pooled_engine_matches_serial_engine_byte_for_byte() {
+    // The per-rank compression pool must not change the produced file:
+    // plan offsets are pre-computed and streams are recorded in
+    // scheduled order, so any sz_threads yields identical bytes.
+    let data = rank_data_from_nyx(16, 4);
+    let guard_s = tmp("pool-serial");
+    let serial_path = guard_s.path().to_path_buf();
+    run_real(&data, &base_config(Method::Overlap, serial_path.clone())).unwrap();
+    let serial = std::fs::read(&serial_path).unwrap();
+    for threads in [2usize, 4] {
+        let guard = tmp(&format!("pool-{threads}"));
+        let path = guard.path().to_path_buf();
+        let mut cfg = base_config(Method::Overlap, path.clone());
+        cfg.sz_threads = threads;
+        run_real(&data, &cfg).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            serial,
+            "sz_threads={threads}"
+        );
+    }
 }
 
 #[test]
