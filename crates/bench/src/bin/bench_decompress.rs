@@ -1,0 +1,254 @@
+//! `bench_decompress` — read-path throughput experiment for the
+//! parallel decode pipeline.
+//!
+//! The read-side mirror of `bench_compress`: each workload's tiles
+//! (Nyx cube, VPIC particle dump, RTM wavefield) are written once
+//! through the sz filter, then read back two ways —
+//!
+//! 1. **serial** — `H5Reader::read_raw`, one thread, one reused
+//!    `FilterScratch` (the baseline every consumer used before the
+//!    pipelined reader existed);
+//! 2. **pipelined** — `H5Reader::read_full_pipelined` at 1/2/4/8
+//!    workers, each worker reading and de-filtering its own chunks
+//!    with a worker-local scratch, tiles reassembled in chunk order.
+//!
+//! The binary asserts that every pipelined read is value-identical to
+//! the serial result, and writes machine-readable timings to
+//! `BENCH_decompress.json` (override with `BENCH_OUT`).
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_decompress
+//! BENCH_SIDE=128 BENCH_WORKERS=1,2,4 cargo run -p bench --release --bin bench_decompress
+//! ```
+//!
+//! Knobs: `BENCH_SIDE` (cube side, default 64; VPIC uses side³
+//! particles), `BENCH_CHUNK` (chunk side, must divide side, default
+//! 16), `BENCH_WORKERS` (default `1,2,4,8`), `BENCH_REPS` (default 3),
+//! `BENCH_OUT`.
+
+use h5lite::{DatasetSpec, Dtype, FilterSpec, H5File, H5Reader, SzFilterParams, SZLITE_FILTER_ID};
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::{nyx, rtm, vpic, NyxParams, RtmParams, VpicParams};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "bench-decompress-{}-{}.h5l",
+        std::process::id(),
+        name
+    ))
+}
+
+/// Run `f` `reps` times, returning the fastest wall-clock seconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Tile {
+    name: &'static str,
+    data: Vec<f32>,
+    dims: Vec<u64>,
+    chunk: Vec<u64>,
+}
+
+/// Per-workload timing record for the JSON report.
+struct Outcome {
+    name: &'static str,
+    raw_bytes: usize,
+    stored_bytes: u64,
+    n_chunks: usize,
+    serial_secs: f64,
+    pipeline: Vec<(usize, f64)>,
+    value_identical: bool,
+}
+
+fn run_tile(tile: &Tile, reps: usize, workers: &[usize]) -> Outcome {
+    let bytes: Vec<u8> = tile.data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let chunk_usize: Vec<usize> = tile.chunk.iter().map(|&c| c as usize).collect();
+    let spec = DatasetSpec::new("d", Dtype::F32, &tile.dims)
+        .chunked(&tile.chunk)
+        .with_filter(FilterSpec {
+            id: SZLITE_FILTER_ID,
+            params: SzFilterParams {
+                // Value-range-relative 1e-3, SZ's standard mode.
+                absolute: false,
+                bound: 1e-3,
+                dims: chunk_usize,
+            }
+            .to_bytes(),
+        });
+
+    let path = tmp(tile.name);
+    let f = H5File::create(&path).unwrap();
+    let id = f.create_dataset(spec).unwrap();
+    f.write_full(id, &bytes).unwrap();
+    f.close().unwrap();
+
+    let r = H5Reader::open(&path).unwrap();
+    let meta = r.meta("d").unwrap();
+    let stored_bytes = meta.stored_bytes();
+    let n_chunks = meta.chunks.len();
+    let mb = bytes.len() as f64 / 1e6;
+
+    // Warm the page cache before anything is timed.
+    let serial = r.read_raw("d").unwrap();
+    let serial_secs = best_of(reps, || {
+        let _ = r.read_raw("d").unwrap();
+    });
+    println!(
+        "{:<6} serial read_raw       : {serial_secs:.3} s  {:.1} MB/s",
+        tile.name,
+        mb / serial_secs
+    );
+
+    let mut value_identical = true;
+    let mut pipeline = Vec::new();
+    for &w in workers {
+        value_identical &= r.read_full_pipelined("d", w).unwrap() == serial;
+        let secs = best_of(reps, || {
+            let _ = r.read_full_pipelined("d", w).unwrap();
+        });
+        println!(
+            "{:<6} pipeline workers={w:<2}   : {secs:.3} s  {:.1} MB/s  ({:.2}x)",
+            tile.name,
+            mb / secs,
+            serial_secs / secs
+        );
+        pipeline.push((w, secs));
+    }
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        value_identical,
+        "{}: pipelined read diverged from serial",
+        tile.name
+    );
+
+    Outcome {
+        name: tile.name,
+        raw_bytes: bytes.len(),
+        stored_bytes,
+        n_chunks,
+        serial_secs,
+        pipeline,
+        value_identical,
+    }
+}
+
+fn main() {
+    let side = env_usize("BENCH_SIDE", 64);
+    let chunk = env_usize("BENCH_CHUNK", 16);
+    assert!(
+        side.is_multiple_of(chunk),
+        "BENCH_CHUNK ({chunk}) must divide BENCH_SIDE ({side})"
+    );
+    let reps = env_usize("BENCH_REPS", 3);
+    let workers: Vec<usize> = std::env::var("BENCH_WORKERS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|w| w.trim().parse().ok())
+        .collect();
+    let out_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_decompress.json".to_string());
+
+    let s = side as u64;
+    let c = chunk as u64;
+    let n_particles = side * side * side;
+    println!(
+        "generating nyx/rtm side={side} (chunk {chunk}³) and vpic n={n_particles}, reps {reps} ..."
+    );
+    let tiles = [
+        Tile {
+            name: "nyx",
+            data: nyx::snapshot(NyxParams::with_side(side))
+                .field("baryon_density")
+                .unwrap()
+                .data
+                .clone(),
+            dims: vec![s, s, s],
+            chunk: vec![c, c, c],
+        },
+        Tile {
+            name: "vpic",
+            data: vpic::snapshot(VpicParams::with_particles(n_particles))
+                .field("mom_x")
+                .unwrap()
+                .data
+                .clone(),
+            dims: vec![n_particles as u64],
+            chunk: vec![(c * c * c).min(n_particles as u64)],
+        },
+        Tile {
+            name: "rtm",
+            data: rtm::snapshot(RtmParams::with_side(side)).fields[0]
+                .data
+                .clone(),
+            // Anisotropic tiles: full rows along x, chunked in z/y.
+            dims: vec![s, s, s],
+            chunk: vec![c, c, s],
+        },
+    ];
+
+    let outcomes: Vec<Outcome> = tiles.iter().map(|t| run_tile(t, reps, &workers)).collect();
+
+    // ---- Machine-readable output -------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"side\": {side},");
+    let _ = writeln!(json, "  \"chunk\": {chunk},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        let mb = o.raw_bytes as f64 / 1e6;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", o.name);
+        let _ = writeln!(json, "      \"raw_bytes\": {},", o.raw_bytes);
+        let _ = writeln!(json, "      \"stored_bytes\": {},", o.stored_bytes);
+        let _ = writeln!(json, "      \"n_chunks\": {},", o.n_chunks);
+        let _ = writeln!(json, "      \"value_identical\": {},", o.value_identical);
+        let _ = writeln!(json, "      \"serial_secs\": {:.6},", o.serial_secs);
+        let _ = writeln!(
+            json,
+            "      \"serial_mb_per_s\": {:.3},",
+            mb / o.serial_secs
+        );
+        let _ = writeln!(json, "      \"pipeline\": [");
+        for (j, &(w, secs)) in o.pipeline.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"workers\": {w}, \"secs\": {secs:.6}, \"mb_per_s\": {:.3}, \"speedup\": {:.3}}}{}",
+                mb / secs,
+                o.serial_secs / secs,
+                if j + 1 < o.pipeline.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < outcomes.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).unwrap();
+    println!("\nwrote {out_path}");
+}

@@ -21,6 +21,9 @@
 //! 5. **Redirect overflow**: partitions larger than their reservation
 //!    write a fitting prefix in place; the excess is appended past the
 //!    reserved region after an all-gather of overflow sizes (Fig. 8).
+//! 6. **Verify (opt-in)**: re-open the closed file, decode every field
+//!    through the pipelined reader and check each element against its
+//!    resolved error bound ([`verify`]), timed as its own phase.
 //!
 //! Two engines execute the pipeline: [`real`] (threads-as-ranks, real
 //! compression, real throttled file I/O; used up to 64 ranks) and
@@ -34,6 +37,7 @@ pub mod profile;
 pub mod real;
 pub mod scheduler;
 pub mod sim;
+pub mod verify;
 
 pub use extraspace::{weight_to_rspace, ExtraSpacePolicy, RSPACE_MAX, RSPACE_MIN};
 pub use metrics::{Breakdown, Method, RunResult};
@@ -42,3 +46,4 @@ pub use profile::{profile_partition, replicate_profiles, PartitionProfile};
 pub use real::{run_real, RankFieldData, RealConfig, RealError};
 pub use scheduler::{identity_order, optimize_order, queue_time};
 pub use sim::{simulate_all, simulate_method, SimParams};
+pub use verify::{verify_file, FieldReport, VerifyReport};

@@ -50,12 +50,15 @@ pub struct Breakdown {
     pub write: f64,
     /// Overflow handling time (gather + redirected writes).
     pub overflow: f64,
+    /// Read-back verification time (re-open, pipelined decode, bound
+    /// check); zero unless the run enables verification.
+    pub verify: f64,
 }
 
 impl Breakdown {
     /// Sum of all phases.
     pub fn total(&self) -> f64 {
-        self.predict + self.allgather + self.compress + self.write + self.overflow
+        self.predict + self.allgather + self.compress + self.write + self.overflow + self.verify
     }
 }
 
@@ -152,8 +155,9 @@ mod tests {
             compress: 3.0,
             write: 4.0,
             overflow: 5.0,
+            verify: 6.0,
         };
-        assert_eq!(b.total(), 15.0);
+        assert_eq!(b.total(), 21.0);
     }
 
     #[test]

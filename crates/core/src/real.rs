@@ -61,7 +61,14 @@ pub struct RealConfig {
     /// (the parallel chunk-compression pipeline). `0` reads the
     /// `SZ_THREADS` environment variable, defaulting to 1 — the
     /// serial per-rank compression of the paper's baseline overlap.
+    /// Also the decode worker count of the verification phase.
     pub sz_threads: usize,
+    /// Opt-in read-back verification: after the file closes, re-open
+    /// it, decode every field through the pipelined reader and check
+    /// each element against its resolved error bound. The phase is
+    /// timed separately ([`Breakdown::verify`]) and a violation fails
+    /// the run.
+    pub verify: bool,
     /// Output file path.
     pub path: PathBuf,
 }
@@ -467,6 +474,23 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
     }
     file.close()?;
 
+    // Opt-in phase 7: read-back verification through the pipelined
+    // reader — the decode mirror of the write pipeline, timed as its
+    // own breakdown phase.
+    let mut verify_secs = 0.0;
+    if cfg.verify {
+        let tv = Instant::now();
+        let configs = compressed.then_some(cfg.configs.as_slice());
+        let report = crate::verify::verify_file(&cfg.path, data, configs, sz_threads)?;
+        verify_secs = tv.elapsed().as_secs_f64();
+        if let Some(bad) = report.fields.iter().find(|f| !f.ok) {
+            return Err(RealError(format!(
+                "verification failed: field {} exceeds its bound (max err {:.3e} > {:.3e})",
+                bad.name, bad.max_abs_err, bad.max_bound
+            )));
+        }
+    }
+
     let raw_bytes: u64 = data
         .iter()
         .flatten()
@@ -482,6 +506,7 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
             compress: agg.compress,
             write: agg.write,
             overflow: agg.overflow,
+            verify: verify_secs,
         },
         raw_bytes,
         compressed_bytes: agg.compressed_bytes,

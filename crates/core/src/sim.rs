@@ -244,6 +244,7 @@ fn sim_overlap(profiles: &[Vec<PartitionProfile>], params: &SimParams, reorder: 
             compress: compress_end - release,
             write: makespan - compress_end,
             overflow: overflow_time,
+            ..Default::default()
         },
         raw_bytes: raw,
         compressed_bytes: comp,

@@ -47,6 +47,7 @@ fn config(method: Method, path: PathBuf) -> RealConfig {
         bandwidth: BandwidthModel::tiny_for_tests(),
         throttle_scale: 0.5,
         sz_threads: 1,
+        verify: false,
         path,
     }
 }
@@ -151,6 +152,93 @@ fn tight_reservation_forces_overflow_and_data_survives() {
     );
     assert!(res.overflow_bytes > 0);
     verify_within_bound(&path, &data, 1e-3, true);
+}
+
+#[test]
+fn engine_verification_passes_for_all_methods() {
+    // The opt-in verify phase re-reads the file through the pipelined
+    // reader and checks every element; it must pass for every method
+    // and record its wall clock in the breakdown.
+    let (data, _) = nyx_rank_data(16, 4);
+    for method in Method::ALL {
+        let guard = tmp(&format!("verify-{}", method.label()));
+        let path = guard.path().to_path_buf();
+        let mut cfg = config(method, path.clone());
+        cfg.verify = true;
+        cfg.sz_threads = 2; // exercise the pooled decode path
+        let res = run_real(&data, &cfg).unwrap();
+        assert!(
+            res.breakdown.verify > 0.0,
+            "{method:?}: verify phase must be timed"
+        );
+    }
+}
+
+#[test]
+fn engine_verification_survives_overflow_redirection() {
+    // Overflowed partitions store their tail past the reserved region;
+    // the pipelined reader must reassemble prefix + tail before decode
+    // or verification would fail.
+    let (data, _) = nyx_rank_data(16, 8);
+    let guard = tmp("verify-overflow");
+    let path = guard.path().to_path_buf();
+    let mut cfg = config(Method::Overlap, path.clone());
+    cfg.policy = ExtraSpacePolicy::new(1.0);
+    cfg.models.gain = ratiomodel::LosslessGain {
+        floor: 0.02,
+        half_run: 0.05,
+    };
+    cfg.verify = true;
+    cfg.sz_threads = 4;
+    let res = run_real(&data, &cfg).unwrap();
+    assert!(res.n_overflow > 0, "setup must force overflow");
+    assert!(res.breakdown.verify > 0.0);
+}
+
+#[test]
+fn standalone_verify_reports_per_field() {
+    let (data, _) = nyx_rank_data(16, 4);
+    let guard = tmp("verify-standalone");
+    let path = guard.path().to_path_buf();
+    let cfg = config(Method::OverlapReorder, path.clone());
+    run_real(&data, &cfg).unwrap();
+    let report = predwrite::verify_file(&path, &data, Some(&cfg.configs), 2).unwrap();
+    assert!(report.ok());
+    assert_eq!(report.fields.len(), 6);
+    assert_eq!(report.n_points(), 6 * 16 * 16 * 16);
+    for f in &report.fields {
+        assert!(
+            f.max_abs_err <= f.max_bound,
+            "{}: {} > {}",
+            f.name,
+            f.max_abs_err,
+            f.max_bound
+        );
+    }
+}
+
+#[test]
+fn verify_detects_corruption() {
+    // Flip bytes in the middle of the stored chunk data; verification
+    // must either surface a decode error or report a bound violation —
+    // silently passing would defeat its purpose.
+    let (data, _) = nyx_rank_data(16, 4);
+    let guard = tmp("verify-corrupt");
+    let path = guard.path().to_path_buf();
+    let cfg = config(Method::Overlap, path.clone());
+    run_real(&data, &cfg).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Corrupt a swath of chunk payload (past the 32-byte superblock,
+    // well before the trailing metadata table).
+    let start = 200;
+    for b in bytes.iter_mut().skip(start).take(64) {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&path, &bytes).unwrap();
+    match predwrite::verify_file(&path, &data, Some(&cfg.configs), 2) {
+        Err(_) => {}                         // decode failure: detected
+        Ok(report) => assert!(!report.ok()), // or bound violation
+    }
 }
 
 #[test]

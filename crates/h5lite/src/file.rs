@@ -13,12 +13,13 @@ use crate::filter::{FilterRegistry, FilterScratch};
 use crate::meta::{
     deserialize_table, serialize_table, AttrValue, ChunkInfo, DatasetMeta, Dtype, FilterSpec,
 };
-use crate::pipeline::compress_chunks;
+use crate::pipeline::{compress_chunks, ordered_fanout};
 use parking_lot::Mutex;
 use pfsim::{SharedFile, Throttle};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use szlite::Element;
 
 /// File magic "H5LT".
 pub const MAGIC: u32 = 0x544C3548;
@@ -367,6 +368,9 @@ impl H5File {
     }
 }
 
+/// The stored `(offset, len)` extents of one chunk, in record order.
+type ChunkSegments = Vec<(u64, u64)>;
+
 /// Read-only h5lite container.
 pub struct H5Reader {
     file: SharedFile,
@@ -418,76 +422,154 @@ impl H5Reader {
             .ok_or_else(|| H5Error::NoSuchDataset(name.to_string()))
     }
 
+    /// Collect each chunk's stored extents in chunk-index order.
+    ///
+    /// A chunk may be stored as several extents with the same index
+    /// (reserved-slot prefix + overflow tail, the paper's overflow
+    /// redirection); segments are listed in record order so reading
+    /// them back-to-back reconstitutes the filtered stream.
+    fn chunk_segments(d: &DatasetMeta) -> Result<Vec<(u64, ChunkSegments)>> {
+        let mut by_index: std::collections::BTreeMap<u64, ChunkSegments> =
+            std::collections::BTreeMap::new();
+        for c in &d.chunks {
+            by_index
+                .entry(c.index)
+                .or_default()
+                .push((c.offset, c.stored));
+        }
+        let expected = match &d.chunk_dims {
+            None => 1,
+            Some(_) => d.n_chunks(),
+        };
+        if by_index.len() as u64 != expected {
+            return Err(H5Error::Corrupt("incomplete chunk set"));
+        }
+        Ok(by_index.into_iter().collect())
+    }
+
+    /// Read one chunk's concatenated stored bytes into `stored`.
+    fn read_segments(&self, segments: &[(u64, u64)], stored: &mut Vec<u8>) -> Result<()> {
+        stored.clear();
+        let total: u64 = segments.iter().map(|&(_, len)| len).sum();
+        stored.resize(total as usize, 0);
+        let mut at = 0usize;
+        for &(offset, len) in segments {
+            let end = at + len as usize;
+            self.file.read_at(offset, &mut stored[at..end])?;
+            at = end;
+        }
+        Ok(())
+    }
+
     /// Read and de-filter a full dataset into its raw byte buffer.
     pub fn read_raw(&self, name: &str) -> Result<Vec<u8>> {
         let d = self.meta(name)?;
         let elem = d.dtype.size();
         let mut out = vec![0u8; d.raw_bytes() as usize];
-        match &d.chunk_dims {
-            None => {
-                let c = d.chunks.first().ok_or(H5Error::Corrupt("missing chunk"))?;
-                let mut stored = vec![0u8; c.stored as usize];
-                self.file.read_at(c.offset, &mut stored)?;
-                let raw = self.registry.invert(&d.filters, stored)?;
-                if raw.len() != out.len() {
-                    return Err(H5Error::ShapeMismatch {
-                        expected: out.len() as u64,
-                        actual: raw.len() as u64,
-                    });
-                }
-                out.copy_from_slice(&raw);
-            }
-            Some(cd) => {
-                // A chunk may be stored as several extents with the
-                // same index (reserved-slot prefix + overflow tail, the
-                // paper's overflow redirection); concatenate in record
-                // order before de-filtering.
-                let mut by_index: std::collections::BTreeMap<u64, Vec<u8>> =
-                    std::collections::BTreeMap::new();
-                for c in &d.chunks {
-                    let mut stored = vec![0u8; c.stored as usize];
-                    self.file.read_at(c.offset, &mut stored)?;
-                    by_index
-                        .entry(c.index)
-                        .or_default()
-                        .extend_from_slice(&stored);
-                }
-                if by_index.len() as u64 != d.n_chunks() {
-                    return Err(H5Error::Corrupt("incomplete chunk set"));
-                }
-                for (index, stored) in by_index {
-                    let raw = self.registry.invert(&d.filters, stored)?;
-                    scatter_tile(&mut out, &d.dims, elem, cd, index, &raw)?;
-                }
+        // The serial path reuses one scratch and one stored-bytes
+        // buffer across all chunks, mirroring `write_full`.
+        let mut scratch = FilterScratch::new();
+        let mut stored = Vec::new();
+        // Contiguous datasets decode as a single tile spanning the
+        // extents (scatter with chunk = dims is the identity).
+        let cd = d.chunk_dims.clone().unwrap_or_else(|| d.dims.clone());
+        for (index, segments) in Self::chunk_segments(d)? {
+            self.read_segments(&segments, &mut stored)?;
+            // Unfiltered chunks scatter straight from the read buffer;
+            // no copy through the filter chain.
+            if d.filters.is_empty() {
+                scatter_tile(&mut out, &d.dims, elem, &cd, index, &stored)?;
+            } else {
+                let raw = self.registry.invert(&d.filters, &stored, &mut scratch)?;
+                scatter_tile(&mut out, &d.dims, elem, &cd, index, &raw)?;
             }
         }
         Ok(out)
     }
 
+    /// Read and de-filter a full dataset through the parallel decode
+    /// pipeline: chunk reads + filter inversion fan out to `workers`
+    /// threads (each reusing one [`FilterScratch`] across its chunks)
+    /// and tiles are reassembled in chunk-index order, so the result
+    /// is value-identical to [`H5Reader::read_raw`] at any worker
+    /// count — the read-side mirror of
+    /// [`H5File::write_full_pipelined`].
+    pub fn read_full_pipelined(&self, name: &str, workers: usize) -> Result<Vec<u8>> {
+        let d = self.meta(name)?;
+        let elem = d.dtype.size();
+        let mut out = vec![0u8; d.raw_bytes() as usize];
+        let cd = d.chunk_dims.clone().unwrap_or_else(|| d.dims.clone());
+        let chunks = Self::chunk_segments(d)?;
+        ordered_fanout(
+            chunks.len() as u64,
+            workers,
+            || (FilterScratch::new(), Vec::new()),
+            |(scratch, stored): &mut (FilterScratch, Vec<u8>), i| {
+                let (_, segments) = &chunks[i as usize];
+                self.read_segments(segments, stored)?;
+                if d.filters.is_empty() {
+                    // The sink needs an owned tile; moving the read
+                    // buffer out beats copying it through `invert`.
+                    Ok(std::mem::take(stored))
+                } else {
+                    self.registry.invert(&d.filters, stored, scratch)
+                }
+            },
+            |i, raw| {
+                let (index, _) = chunks[i as usize];
+                scatter_tile(&mut out, &d.dims, elem, &cd, index, &raw)
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Check that dataset `d` stores elements of type `T`.
+    fn check_dtype<T: Element>(d: &DatasetMeta) -> Result<()> {
+        let (want, msg) = match T::DTYPE {
+            szlite::element::DTYPE_F32 => (Dtype::F32, "dataset is not f32"),
+            szlite::element::DTYPE_F64 => (Dtype::F64, "dataset is not f64"),
+            _ => return Err(H5Error::Corrupt("unsupported element type")),
+        };
+        if d.dtype != want {
+            return Err(H5Error::Corrupt(msg));
+        }
+        Ok(())
+    }
+
+    /// Decode a raw little-endian byte buffer into typed elements.
+    fn elems_from_raw<T: Element>(raw: &[u8]) -> Result<Vec<T>> {
+        let mut out = Vec::with_capacity(raw.len() / T::BYTES);
+        let mut pos = 0usize;
+        while pos < raw.len() {
+            out.push(T::read_le(raw, &mut pos).map_err(H5Error::from)?);
+        }
+        Ok(out)
+    }
+
+    /// Read a dataset as typed values (`f32` or `f64`).
+    pub fn read<T: Element>(&self, name: &str) -> Result<Vec<T>> {
+        let d = self.meta(name)?;
+        Self::check_dtype::<T>(d)?;
+        Self::elems_from_raw(&self.read_raw(name)?)
+    }
+
+    /// Read a dataset as typed values through the parallel decode
+    /// pipeline; value-identical to [`H5Reader::read`] at any worker
+    /// count.
+    pub fn read_pipelined<T: Element>(&self, name: &str, workers: usize) -> Result<Vec<T>> {
+        let d = self.meta(name)?;
+        Self::check_dtype::<T>(d)?;
+        Self::elems_from_raw(&self.read_full_pipelined(name, workers)?)
+    }
+
     /// Read a dataset as `f32` values.
     pub fn read_f32(&self, name: &str) -> Result<Vec<f32>> {
-        let d = self.meta(name)?;
-        if d.dtype != Dtype::F32 {
-            return Err(H5Error::Corrupt("dataset is not f32"));
-        }
-        let raw = self.read_raw(name)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
-            .collect())
+        self.read::<f32>(name)
     }
 
     /// Read a dataset as `f64` values.
     pub fn read_f64(&self, name: &str) -> Result<Vec<f64>> {
-        let d = self.meta(name)?;
-        if d.dtype != Dtype::F64 {
-            return Err(H5Error::Corrupt("dataset is not f64"));
-        }
-        let raw = self.read_raw(name)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
-            .collect())
+        self.read::<f64>(name)
     }
 }
 
@@ -731,6 +813,87 @@ mod tests {
         es.wait().unwrap();
         f.close().unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), serial);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pipelined_read_matches_serial_reader() {
+        // Chunked + sz-filtered dataset read back through the worker
+        // pool at several widths; every result must be value-identical
+        // to the serial reader (and to each other).
+        let path = tmp("rpipe");
+        let f = H5File::create(&path).unwrap();
+        let data: Vec<f32> = (0..24 * 20 * 16).map(|i| (i as f32 * 0.01).sin()).collect();
+        let params = SzFilterParams {
+            absolute: true,
+            bound: 1e-3,
+            dims: vec![8, 10, 16],
+        }
+        .to_bytes();
+        let id = f
+            .create_dataset(
+                DatasetSpec::new("t", Dtype::F32, &[24, 20, 16])
+                    .chunked(&[8, 10, 16])
+                    .with_filter(FilterSpec {
+                        id: SZLITE_FILTER_ID,
+                        params,
+                    }),
+            )
+            .unwrap();
+        f.write_full(id, &f32_bytes(&data)).unwrap();
+        f.close().unwrap();
+
+        let r = H5Reader::open(&path).unwrap();
+        let serial = r.read_raw("t").unwrap();
+        for workers in [1usize, 2, 8] {
+            assert_eq!(
+                r.read_full_pipelined("t", workers).unwrap(),
+                serial,
+                "workers={workers}"
+            );
+        }
+        assert_eq!(
+            r.read_pipelined::<f32>("t", 4).unwrap(),
+            r.read_f32("t").unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pipelined_read_contiguous_matches_serial() {
+        let path = tmp("rpipe-contig");
+        let f = H5File::create(&path).unwrap();
+        let data = vec![3u8; 5000];
+        let id = f
+            .create_dataset(
+                DatasetSpec::new("c", Dtype::U8, &[5000]).with_filter(FilterSpec {
+                    id: LZSS_FILTER_ID,
+                    params: vec![],
+                }),
+            )
+            .unwrap();
+        f.write_full(id, &data).unwrap();
+        f.close().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert_eq!(r.read_raw("c").unwrap(), data);
+        assert_eq!(r.read_full_pipelined("c", 4).unwrap(), data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn generic_read_rejects_wrong_type() {
+        let path = tmp("rtype");
+        let f = H5File::create(&path).unwrap();
+        let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let id = f
+            .create_dataset(DatasetSpec::new("x", Dtype::F32, &[32]))
+            .unwrap();
+        f.write_full(id, &f32_bytes(&data)).unwrap();
+        f.close().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert!(r.read::<f64>("x").is_err());
+        assert!(r.read_f64("x").is_err());
+        assert_eq!(r.read::<f32>("x").unwrap(), data);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -20,18 +20,23 @@ pub const SHUFFLE_FILTER_ID: u32 = 2;
 /// LZSS lossless filter id (stand-in for deflate, HDF5 id 1).
 pub const LZSS_FILTER_ID: u32 = 1;
 
-/// Reusable per-worker workspace for the write-path filter pipeline.
+/// Reusable per-worker workspace for the filter pipeline, both
+/// directions.
 ///
 /// One `FilterScratch` per thread lets every chunk run the whole
-/// filter chain without re-allocating compressor state: the szlite
-/// workspace (quantization codes, Huffman frequency tables, bit
-/// buffer), the byte→float staging buffer, and the inter-stage
-/// ping-pong buffer all persist across chunks.
+/// filter chain without re-allocating codec state: the szlite
+/// compressor workspace (quantization codes, Huffman frequency tables,
+/// bit buffer), the mirror decompressor workspace (Huffman table,
+/// code/literal staging, reconstruction grid), the byte↔float staging
+/// buffer, and the inter-stage ping-pong buffer all persist across
+/// chunks.
 #[derive(Debug, Default)]
 pub struct FilterScratch {
     /// szlite compressor workspace.
     pub sz: szlite::Scratch,
-    /// f32 staging for the SZ filter's byte→float conversion.
+    /// szlite decompressor workspace (the decode mirror of `sz`).
+    pub dsz: szlite::DecompressScratch,
+    /// f32 staging for the SZ filter's byte↔float conversions.
     floats: Vec<f32>,
     /// Recycled intermediate buffer for multi-stage chains.
     stage: Vec<u8>,
@@ -45,6 +50,11 @@ impl FilterScratch {
 }
 
 /// A chunk filter: bytes → bytes, invertible.
+///
+/// The trait is symmetric: both directions borrow their input, append
+/// to a caller-cleared output buffer, and reuse [`FilterScratch`]
+/// state instead of allocating per call, so worker pools on either
+/// side of the pipeline run allocation-free at steady state.
 pub trait Filter: Send + Sync {
     /// Registered id.
     fn id(&self) -> u32;
@@ -58,8 +68,15 @@ pub trait Filter: Send + Sync {
         out: &mut Vec<u8>,
         scratch: &mut FilterScratch,
     ) -> Result<()>;
-    /// Inverse pass.
-    fn decode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>>;
+    /// Inverse pass: decode `data`, appending the result to `out`
+    /// (cleared by the caller) and reusing `scratch` buffers.
+    fn decode(
+        &self,
+        data: &[u8],
+        params: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut FilterScratch,
+    ) -> Result<()>;
 }
 
 /// Parameters of the szlite filter, stored in [`FilterSpec::params`].
@@ -154,13 +171,19 @@ impl Filter for SzliteFilter {
         Ok(())
     }
 
-    fn decode(&self, data: &[u8], _params: &[u8]) -> Result<Vec<u8>> {
-        let (floats, _) = szlite::decompress_f32(data)?;
-        let mut out = Vec::with_capacity(floats.len() * 4);
-        for f in floats {
+    fn decode(
+        &self,
+        data: &[u8],
+        _params: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut FilterScratch,
+    ) -> Result<()> {
+        szlite::decompress_into::<f32>(data, &mut scratch.dsz, &mut scratch.floats)?;
+        out.reserve(scratch.floats.len() * 4);
+        for f in &scratch.floats {
             out.extend_from_slice(&f.to_le_bytes());
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -207,7 +230,13 @@ impl Filter for ShuffleFilter {
         Ok(())
     }
 
-    fn decode(&self, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
+    fn decode(
+        &self,
+        data: &[u8],
+        params: &[u8],
+        out: &mut Vec<u8>,
+        _scratch: &mut FilterScratch,
+    ) -> Result<()> {
         let es = Self::elem_size(params)?;
         if !data.len().is_multiple_of(es) {
             return Err(H5Error::Filter(
@@ -215,13 +244,15 @@ impl Filter for ShuffleFilter {
             ));
         }
         let n = data.len() / es;
-        let mut out = vec![0u8; data.len()];
+        let base = out.len();
+        out.resize(base + data.len(), 0);
+        let dst = &mut out[base..];
         for i in 0..n {
             for b in 0..es {
-                out[i * es + b] = data[b * n + i];
+                dst[i * es + b] = data[b * n + i];
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -244,8 +275,15 @@ impl Filter for LzssFilter {
         Ok(())
     }
 
-    fn decode(&self, data: &[u8], _params: &[u8]) -> Result<Vec<u8>> {
-        Ok(szlite::lossless::decompress(data)?)
+    fn decode(
+        &self,
+        data: &[u8],
+        _params: &[u8],
+        out: &mut Vec<u8>,
+        _scratch: &mut FilterScratch,
+    ) -> Result<()> {
+        szlite::lossless::decompress_into(data, out)?;
+        Ok(())
     }
 }
 
@@ -317,12 +355,42 @@ impl FilterRegistry {
     }
 
     /// Invert a pipeline in reverse order (read path).
-    pub fn invert(&self, specs: &[FilterSpec], data: Vec<u8>) -> Result<Vec<u8>> {
-        let mut cur = data;
-        for s in specs.iter().rev() {
-            cur = self.get(s.id)?.decode(&cur, &s.params)?;
+    ///
+    /// The mirror image of [`FilterRegistry::apply`]: the input is
+    /// borrowed, `scratch` supplies every intermediate buffer, and the
+    /// returned vector is the only allocation that escapes (it is
+    /// handed to the tile scatter, which may outlive the scratch).
+    pub fn invert(
+        &self,
+        specs: &[FilterSpec],
+        data: &[u8],
+        scratch: &mut FilterScratch,
+    ) -> Result<Vec<u8>> {
+        let mut cur = Vec::new();
+        if specs.is_empty() {
+            cur.extend_from_slice(data);
+            return Ok(cur);
         }
-        Ok(cur)
+        let mut prev = std::mem::take(&mut scratch.stage);
+        prev.clear();
+        let mut first = true;
+        for s in specs.iter().rev() {
+            cur.clear();
+            let input: &[u8] = if first { data } else { &prev };
+            let res = self
+                .get(s.id)
+                .and_then(|f| f.decode(input, &s.params, &mut cur, scratch));
+            if let Err(e) = res {
+                scratch.stage = prev;
+                return Err(e);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+            first = false;
+        }
+        // `prev` holds the final stage's output; recycle the other
+        // buffer for the next call.
+        scratch.stage = cur;
+        Ok(prev)
     }
 }
 
@@ -338,6 +406,13 @@ mod tests {
         let mut out = Vec::new();
         let mut scratch = FilterScratch::new();
         f.encode(data, params, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    fn dec(f: &dyn Filter, data: &[u8], params: &[u8]) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut scratch = FilterScratch::new();
+        f.decode(data, params, &mut out, &mut scratch)?;
         Ok(out)
     }
 
@@ -364,7 +439,7 @@ mod tests {
         let f = SzliteFilter;
         let enc = enc(&f, &bytes, &params).unwrap();
         assert!(enc.len() < bytes.len());
-        let dec = f.decode(&enc, &params).unwrap();
+        let dec = dec(&f, &enc, &params).unwrap();
         assert_eq!(dec.len(), bytes.len());
         for (a, b) in bytes.chunks_exact(4).zip(dec.chunks_exact(4)) {
             let x = f32::from_le_bytes(a.try_into().unwrap());
@@ -379,7 +454,7 @@ mod tests {
         let f = ShuffleFilter;
         let enc = enc(&f, &data, &[4]).unwrap();
         assert_ne!(enc, data);
-        assert_eq!(f.decode(&enc, &[4]).unwrap(), data);
+        assert_eq!(dec(&f, &enc, &[4]).unwrap(), data);
     }
 
     #[test]
@@ -388,7 +463,7 @@ mod tests {
         let f = LzssFilter;
         let enc = enc(&f, &data, &[]).unwrap();
         assert!(enc.len() < 200);
-        assert_eq!(f.decode(&enc, &[]).unwrap(), data);
+        assert_eq!(dec(&f, &enc, &[]).unwrap(), data);
     }
 
     #[test]
@@ -407,14 +482,21 @@ mod tests {
         ];
         let mut scratch = FilterScratch::new();
         let enc = reg.apply(&specs, &data, &mut scratch).unwrap();
-        let dec = reg.invert(&specs, enc).unwrap();
+        let dec = reg.invert(&specs, &enc, &mut scratch).unwrap();
         assert_eq!(dec, data);
 
         // A dirty scratch reused on the same input yields identical
-        // bytes — the determinism guarantee the pipeline relies on.
+        // bytes in both directions — the determinism guarantee the
+        // pipelines rely on.
         let enc2 = reg.apply(&specs, &data, &mut scratch).unwrap();
         let fresh = reg.apply(&specs, &data, &mut FilterScratch::new()).unwrap();
         assert_eq!(enc2, fresh);
+        let dec2 = reg.invert(&specs, &enc2, &mut scratch).unwrap();
+        let dec_fresh = reg
+            .invert(&specs, &fresh, &mut FilterScratch::new())
+            .unwrap();
+        assert_eq!(dec2, dec_fresh);
+        assert_eq!(dec2, data);
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! Because file offsets are reserved in chunk-index order by the
 //! single sink thread, the produced file is **byte-identical** to the
 //! serial `write_full` path at any worker count.
+//!
+//! The read side mirrors this through the same [`ordered_fanout`]
+//! pool:
+//! [`H5Reader::read_full_pipelined`](crate::H5Reader::read_full_pipelined)
+//! fans chunk reads + filter inversion out to scratch-reusing workers
+//! and reassembles tiles in chunk-index order, so decoded data is
+//! **value-identical** to the serial reader at any worker count.
 
 use crate::chunk::gather_tile_into;
 use crate::error::{H5Error, Result};

@@ -1,7 +1,7 @@
 //! The compression pipeline: Lorenzo prediction → error-bounded
 //! quantization → canonical Huffman → LZSS.
 
-use crate::config::{Config, Dims, ErrorBound};
+use crate::config::{Config, Dims};
 use crate::element::Element;
 use crate::error::{Result, SzError};
 use crate::huffman::HuffmanEncoder;
@@ -110,29 +110,10 @@ pub fn compress_into<T: Element>(
         });
     }
 
-    // Resolve the error bound. Only range-relative bounds depend on
-    // min/max, so the range scan runs just for them; with an absolute
-    // bound the prediction pass below is the single data traversal.
-    let eb = match cfg.error_bound {
-        ErrorBound::Abs(_) => cfg.error_bound.resolve(0.0, 0.0)?,
-        ErrorBound::Rel(_) => {
-            let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
-            for &v in data {
-                let v = v.to_f64();
-                if v.is_finite() {
-                    min = min.min(v);
-                    max = max.max(v);
-                }
-            }
-            if !min.is_finite() {
-                // All-NaN/Inf input: still valid, everything becomes a
-                // literal.
-                min = 0.0;
-                max = 0.0;
-            }
-            cfg.error_bound.resolve(min, max)?
-        }
-    };
+    // Resolve the error bound. Only range-relative bounds scan for
+    // min/max inside resolve_for; with an absolute bound the
+    // prediction pass below is the single data traversal.
+    let eb = cfg.error_bound.resolve_for(data)?;
 
     let quant = Quantizer::new(eb, cfg.radius);
     let lorenzo = Lorenzo::new(dims);

@@ -1,5 +1,6 @@
 //! Compression configuration: dimensionality, error bounds, codebook size.
 
+use crate::element::Element;
 use crate::error::{Result, SzError};
 
 /// Grid dimensions of the array being compressed.
@@ -93,6 +94,35 @@ impl ErrorBound {
             return Err(SzError::InvalidErrorBound);
         }
         Ok(eb)
+    }
+
+    /// Resolve against a data slice — the rule the compressor itself
+    /// applies, shared so read-back verification checks the *same*
+    /// bound the stream was produced with. Absolute bounds pass
+    /// through without touching the data; relative bounds scan the
+    /// finite min/max, with all-non-finite input falling back to the
+    /// constant-array rule of [`ErrorBound::resolve`].
+    pub fn resolve_for<T: Element>(&self, data: &[T]) -> Result<f64> {
+        match self {
+            ErrorBound::Abs(_) => self.resolve(0.0, 0.0),
+            ErrorBound::Rel(_) => {
+                let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &v in data {
+                    let v = v.to_f64();
+                    if v.is_finite() {
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                }
+                if !min.is_finite() {
+                    // All-NaN/Inf input: still valid, everything
+                    // becomes a literal.
+                    min = 0.0;
+                    max = 0.0;
+                }
+                self.resolve(min, max)
+            }
+        }
     }
 }
 

@@ -1,5 +1,12 @@
 //! Decompression: parse header, undo LZSS, Huffman-decode the symbol
 //! stream, and re-run the Lorenzo/quantizer recurrence.
+//!
+//! The decode path mirrors the compressor's scratch discipline: a
+//! [`DecompressScratch`] keeps the Huffman table, the code/literal
+//! staging buffers, and the reconstruction grid alive across calls, so
+//! a per-chunk decode loop ([`decompress_into`]) allocates nothing at
+//! steady state. [`decompress`] and the typed wrappers remain the
+//! allocating convenience entry points.
 
 use crate::compressor::{MAGIC, VERSION};
 use crate::config::Dims;
@@ -10,6 +17,11 @@ use crate::lossless;
 use crate::predictor::Lorenzo;
 use crate::quantizer::{Quantizer, UNPREDICTABLE};
 use crate::stream::{get_f64, get_u32, get_varint, BitReader};
+
+/// Upper bound on the points a stream header may declare (2^48 points
+/// ≈ 1 PB of f32 data); anything larger is treated as corruption
+/// rather than allowed to drive gigantic allocations.
+const MAX_POINTS: u64 = 1 << 48;
 
 /// Parsed stream header, available without decompressing the payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +43,11 @@ pub struct StreamInfo {
 }
 
 /// Parse the header of an szlite stream.
+///
+/// Never panics: truncation at any header boundary yields
+/// [`SzError::Truncated`] and implausible field values (overflowing
+/// dimension products, absurd payload lengths) yield
+/// [`SzError::Corrupt`].
 pub fn stream_info(bytes: &[u8]) -> Result<StreamInfo> {
     let mut pos = 0usize;
     if get_u32(bytes, &mut pos)? != MAGIC {
@@ -49,9 +66,14 @@ pub fn stream_info(bytes: &[u8]) -> Result<StreamInfo> {
         return Err(SzError::Corrupt("ndims"));
     }
     let mut ext = Vec::with_capacity(ndims);
+    let mut points = 1u64;
     for _ in 0..ndims {
-        let d = get_varint(bytes, &mut pos)? as usize;
-        ext.push(d);
+        let d = get_varint(bytes, &mut pos)?;
+        points = points
+            .checked_mul(d)
+            .filter(|&p| p <= MAX_POINTS)
+            .ok_or(SzError::Corrupt("dims overflow"))?;
+        ext.push(d as usize);
     }
     let dims = Dims::from_slice(&ext)?;
     let eb = get_f64(bytes, &mut pos)?;
@@ -68,7 +90,10 @@ pub fn stream_info(bytes: &[u8]) -> Result<StreamInfo> {
         return Err(SzError::Corrupt("lossless mode"));
     }
     let payload_len = get_varint(bytes, &mut pos)? as usize;
-    if bytes.len() < pos + payload_len {
+    let payload_end = pos
+        .checked_add(payload_len)
+        .ok_or(SzError::Corrupt("payload length"))?;
+    if bytes.len() < payload_end {
         return Err(SzError::Truncated("payload"));
     }
     Ok(StreamInfo {
@@ -82,26 +107,72 @@ pub fn stream_info(bytes: &[u8]) -> Result<StreamInfo> {
     })
 }
 
+/// Reusable decompressor workspace: the LZSS output buffer, the
+/// Huffman table (and its length scratch), decoded quantization codes,
+/// and the reconstruction grid.
+///
+/// Mirrors the compressor's [`Scratch`](crate::Scratch): the per-chunk
+/// hot path allocates all of this afresh when going through
+/// [`decompress`]; a worker that decodes many chunks keeps one
+/// `DecompressScratch` and calls [`decompress_into`] so the buffers are
+/// recycled. The scratch never changes the decoded values — output is
+/// value-identical either way.
+#[derive(Debug, Default)]
+pub struct DecompressScratch {
+    payload: Vec<u8>,
+    lens: Vec<u8>,
+    huffman: HuffmanDecoder,
+    codes: Vec<u32>,
+    recon: Vec<f64>,
+}
+
+impl DecompressScratch {
+    /// Empty workspace; buffers grow to steady-state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Decompress a stream into elements of type `T`.
 ///
 /// Fails with [`SzError::Corrupt`] if the stream's element type does
 /// not match `T`.
 pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
+    let mut scratch = DecompressScratch::new();
+    let mut out = Vec::new();
+    let dims = decompress_into(bytes, &mut scratch, &mut out)?;
+    Ok((out, dims))
+}
+
+/// Decompress a stream into `out` (cleared first), reusing `scratch`
+/// for all transient decoder state. Returns the grid shape.
+pub fn decompress_into<T: Element>(
+    bytes: &[u8],
+    scratch: &mut DecompressScratch,
+    out: &mut Vec<T>,
+) -> Result<Dims> {
+    out.clear();
     let info = stream_info(bytes)?;
     if info.dtype != T::DTYPE {
         return Err(SzError::Corrupt("element type mismatch"));
     }
+    let DecompressScratch {
+        payload,
+        lens,
+        huffman,
+        codes,
+        recon,
+    } = scratch;
     let body = &bytes[info.payload_offset..info.payload_offset + info.payload_len];
-    let payload;
     let payload_ref: &[u8] = if info.lossless {
-        payload = lossless::decompress(body)?;
-        &payload
+        lossless::decompress_into(body, payload)?;
+        payload
     } else {
         body
     };
 
     let mut pos = 0usize;
-    let dec = HuffmanDecoder::deserialize(payload_ref, &mut pos)?;
+    huffman.reinit(payload_ref, &mut pos, lens)?;
     let n_codes = get_varint(payload_ref, &mut pos)? as usize;
     if n_codes != info.dims.len() {
         return Err(SzError::Corrupt("code count vs dims"));
@@ -113,14 +184,27 @@ pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
     let code_bytes = payload_ref
         .get(pos..code_end)
         .ok_or(SzError::Truncated("code bytes"))?;
+    // Every symbol costs at least one bit, so a well-formed stream
+    // never declares more codes than the bit budget can hold; checking
+    // here keeps a corrupt count from driving a gigantic allocation.
+    if n_codes
+        > code_len
+            .checked_mul(8)
+            .ok_or(SzError::Corrupt("code length"))?
+    {
+        return Err(SzError::Corrupt("code count vs code bytes"));
+    }
     let mut br = BitReader::new(code_bytes);
-    let codes = dec.decode(&mut br, n_codes)?;
+    huffman.decode_into(&mut br, n_codes, codes)?;
     pos = code_end;
     let n_literals = get_varint(payload_ref, &mut pos)? as usize;
     let lit_bytes = payload_ref
         .get(pos..)
         .ok_or(SzError::Truncated("literals"))?;
-    if lit_bytes.len() < n_literals * T::BYTES {
+    let lit_needed = n_literals
+        .checked_mul(T::BYTES)
+        .ok_or(SzError::Corrupt("literal count"))?;
+    if lit_bytes.len() < lit_needed {
         return Err(SzError::Truncated("literal bytes"));
     }
 
@@ -129,8 +213,9 @@ pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
     let st = *lorenzo.strides();
 
     let n = info.dims.len();
-    let mut out: Vec<T> = Vec::with_capacity(n);
-    let mut recon = vec![0.0f64; n];
+    out.reserve(n);
+    recon.clear();
+    recon.resize(n, 0.0);
     let mut lit_pos = 0usize;
     let mut idx = 0usize;
     for z in 0..st.ext[0] {
@@ -149,7 +234,7 @@ pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
                     if code as usize >= quant.alphabet() {
                         return Err(SzError::Corrupt("symbol out of alphabet"));
                     }
-                    let pred = lorenzo.predict(&recon, z, y, x);
+                    let pred = lorenzo.predict(recon, z, y, x);
                     let r64 = quant.reconstruct(code, pred);
                     let v = T::from_f64(r64);
                     recon[idx] = v.to_f64();
@@ -160,7 +245,7 @@ pub fn decompress<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims)> {
             }
         }
     }
-    Ok((out, info.dims))
+    Ok(info.dims)
 }
 
 /// Convenience wrapper: decompress an `f32` stream.
@@ -171,4 +256,151 @@ pub fn decompress_f32(bytes: &[u8]) -> Result<(Vec<f32>, Dims)> {
 /// Convenience wrapper: decompress an `f64` stream.
 pub fn decompress_f64(bytes: &[u8]) -> Result<(Vec<f64>, Dims)> {
     decompress(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::compress_f32;
+    use crate::config::Config;
+    use crate::stream::put_varint;
+
+    fn sample_stream(lossless: bool) -> (Vec<f32>, Dims, Vec<u8>) {
+        let dims = Dims::d3(6, 5, 4);
+        let data: Vec<f32> = (0..120).map(|i| (i as f32 * 0.13).sin()).collect();
+        let cfg = Config::abs(1e-3).with_lossless(lossless);
+        let bytes = compress_f32(&data, &dims, &cfg).unwrap();
+        (data, dims, bytes)
+    }
+
+    #[test]
+    fn truncation_at_every_header_boundary_is_typed() {
+        // Cutting the stream anywhere inside the header must surface a
+        // typed error from both the header parser and the decoder —
+        // never a panic. The header spans magic(4) + version(1) +
+        // dtype(1) + ndims(1) + 3 dim varints + eb(8) + radius(4) +
+        // mode(1) + payload-length varint.
+        let (_, _, bytes) = sample_stream(true);
+        let info = stream_info(&bytes).unwrap();
+        for cut in 0..info.payload_offset {
+            let err = stream_info(&bytes[..cut]);
+            assert!(err.is_err(), "header cut at {cut} accepted");
+            let err = decompress_f32(&bytes[..cut]);
+            assert!(err.is_err(), "decode of header cut at {cut} accepted");
+        }
+        // Inside the payload: stream_info and decompress both reject.
+        for cut in info.payload_offset..bytes.len() {
+            assert!(matches!(
+                stream_info(&bytes[..cut]),
+                Err(SzError::Truncated(_))
+            ));
+            assert!(decompress_f32(&bytes[..cut]).is_err(), "payload cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_header_fields_are_typed() {
+        let (_, _, bytes) = sample_stream(true);
+
+        // Version byte.
+        let mut b = bytes.clone();
+        b[4] = 99;
+        assert!(matches!(
+            stream_info(&b),
+            Err(SzError::UnsupportedVersion(99))
+        ));
+
+        // ndims out of range.
+        let mut b = bytes.clone();
+        b[6] = 0;
+        assert!(matches!(stream_info(&b), Err(SzError::Corrupt("ndims"))));
+        b[6] = 4;
+        assert!(matches!(stream_info(&b), Err(SzError::Corrupt("ndims"))));
+
+        // Overflowing dimension product (three maximal varints).
+        let mut b = Vec::new();
+        b.extend_from_slice(&bytes[..7]); // magic+version+dtype+ndims(=3)
+        for _ in 0..3 {
+            put_varint(&mut b, u64::MAX);
+        }
+        b.extend_from_slice(&[0u8; 16]); // eb + radius + mode filler
+        assert!(matches!(
+            stream_info(&b),
+            Err(SzError::Corrupt("dims overflow"))
+        ));
+    }
+
+    #[test]
+    fn absurd_payload_length_rejected_without_allocation() {
+        // Rewrite the payload-length varint to a huge value; the parser
+        // must reject it (truncated) instead of wrapping or allocating.
+        let (_, _, bytes) = sample_stream(false);
+        let info = stream_info(&bytes).unwrap();
+        // Rebuild the header with a forged payload-length varint (the
+        // last header field before payload_offset).
+        let mode_pos = info.payload_offset - {
+            let mut n = 0;
+            let mut v = info.payload_len as u64;
+            loop {
+                n += 1;
+                v >>= 7;
+                if v == 0 {
+                    break;
+                }
+            }
+            n
+        };
+        let mut forged = bytes[..mode_pos].to_vec();
+        put_varint(&mut forged, u64::MAX);
+        forged.extend_from_slice(&bytes[info.payload_offset..]);
+        assert!(stream_info(&forged).is_err());
+        assert!(decompress_f32(&forged).is_err());
+    }
+
+    #[test]
+    fn corrupt_payload_counts_rejected() {
+        // Flip bits across the (uncompressed-mode) payload; decode must
+        // error or produce output, never panic.
+        let (_, _, bytes) = sample_stream(false);
+        let info = stream_info(&bytes).unwrap();
+        for i in info.payload_offset..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0xFF;
+            let _ = decompress_f32(&b); // must not panic
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_value_identical() {
+        // One DecompressScratch reused across streams of different
+        // shapes, bounds, types and lossless modes must reproduce the
+        // fresh-scratch output exactly.
+        let mut scratch = DecompressScratch::new();
+        let mut out32: Vec<f32> = vec![1.0; 7]; // dirty on purpose
+        let cases: Vec<(Vec<f32>, Dims, Config)> = vec![
+            (
+                (0..120).map(|i| (i as f32 * 0.13).sin()).collect(),
+                Dims::d3(6, 5, 4),
+                Config::abs(1e-3),
+            ),
+            (
+                (0..64).map(|i| i as f32).collect(),
+                Dims::d2(8, 8),
+                Config::rel(1e-2),
+            ),
+            (
+                (0..777).map(|i| (i as f32).cos() * 40.0).collect(),
+                Dims::d1(777),
+                Config::abs(1e-4).with_lossless(false),
+            ),
+            (vec![3.25; 27], Dims::d3(3, 3, 3), Config::rel(1e-3)),
+        ];
+        for (data, dims, cfg) in &cases {
+            let bytes = compress_f32(data, dims, cfg).unwrap();
+            let (fresh, fresh_dims) = decompress_f32(&bytes).unwrap();
+            let rdims = decompress_into(&bytes, &mut scratch, &mut out32).unwrap();
+            assert_eq!(rdims, fresh_dims);
+            assert_eq!(out32, fresh);
+        }
+    }
 }

@@ -3,9 +3,16 @@
 
 use crate::error::{Result, SzError};
 
+/// Stream-header type tag for `f32` elements.
+pub const DTYPE_F32: u8 = 0;
+/// Stream-header type tag for `f64` elements.
+pub const DTYPE_F64: u8 = 1;
+
 /// A floating-point storage element szlite can compress.
 pub trait Element: Copy + PartialOrd + Send + Sync + 'static {
-    /// Type tag stored in the stream header (0 = f32, 1 = f64).
+    /// Type tag stored in the stream header ([`DTYPE_F32`] or
+    /// [`DTYPE_F64`]); containers embedding szlite streams match on
+    /// these named tags rather than magic numbers.
     const DTYPE: u8;
     /// Size in bytes.
     const BYTES: usize;
@@ -23,7 +30,7 @@ pub trait Element: Copy + PartialOrd + Send + Sync + 'static {
 }
 
 impl Element for f32 {
-    const DTYPE: u8 = 0;
+    const DTYPE: u8 = DTYPE_F32;
     const BYTES: usize = 4;
     const BITS: u32 = 32;
 
@@ -52,7 +59,7 @@ impl Element for f32 {
 }
 
 impl Element for f64 {
-    const DTYPE: u8 = 1;
+    const DTYPE: u8 = DTYPE_F64;
     const BYTES: usize = 8;
     const BITS: u32 = 64;
 

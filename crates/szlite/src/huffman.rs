@@ -24,6 +24,10 @@ pub struct HuffmanEncoder {
 }
 
 /// Decoder-side canonical Huffman table.
+///
+/// A decoder is reusable: [`HuffmanDecoder::reinit`] repopulates the
+/// table from a new serialized stream while recycling the `symbols`
+/// allocation, so a per-chunk decode loop builds no fresh tables.
 #[derive(Debug, Clone)]
 pub struct HuffmanDecoder {
     /// Symbols sorted in canonical order.
@@ -33,6 +37,19 @@ pub struct HuffmanDecoder {
     first_code: [u64; MAX_CODE_LEN as usize + 1],
     first_index: [usize; MAX_CODE_LEN as usize + 1],
     count: [usize; MAX_CODE_LEN as usize + 1],
+}
+
+impl Default for HuffmanDecoder {
+    /// An empty table (decodes nothing); fill it with
+    /// [`HuffmanDecoder::reinit`].
+    fn default() -> Self {
+        HuffmanDecoder {
+            symbols: Vec::new(),
+            first_code: [0; MAX_CODE_LEN as usize + 1],
+            first_index: [0; MAX_CODE_LEN as usize + 1],
+            count: [0; MAX_CODE_LEN as usize + 1],
+        }
+    }
 }
 
 /// Compute code lengths for `freqs` (index = symbol), returning a vector
@@ -221,12 +238,24 @@ impl HuffmanDecoder {
     /// Deserialize a table previously written by
     /// [`HuffmanEncoder::serialize`].
     pub fn deserialize(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let mut dec = HuffmanDecoder::default();
+        let mut lens = Vec::new();
+        dec.reinit(buf, pos, &mut lens)?;
+        Ok(dec)
+    }
+
+    /// Re-initialize this decoder from a serialized table, recycling
+    /// its allocations and the caller's `lens` scratch buffer. The
+    /// resulting table is identical to [`HuffmanDecoder::deserialize`]
+    /// on the same bytes.
+    pub fn reinit(&mut self, buf: &[u8], pos: &mut usize, lens: &mut Vec<u8>) -> Result<()> {
         let alphabet = get_varint(buf, pos)? as usize;
         let n_present = get_varint(buf, pos)? as usize;
         if n_present > alphabet || alphabet > (1 << 24) {
             return Err(SzError::Corrupt("huffman table header"));
         }
-        let mut lens = vec![0u8; alphabet];
+        lens.clear();
+        lens.resize(alphabet, 0);
         let mut prev = 0u64;
         for i in 0..n_present {
             let delta = get_varint(buf, pos)?;
@@ -239,50 +268,49 @@ impl HuffmanDecoder {
             lens[sym as usize] = len;
             prev = sym;
         }
-        Self::from_lens(&lens)
+        self.init_from_lens(lens)
     }
 
     /// Build from code lengths.
     pub fn from_lens(lens: &[u8]) -> Result<Self> {
-        let mut count = [0usize; MAX_CODE_LEN as usize + 1];
+        let mut dec = HuffmanDecoder::default();
+        dec.init_from_lens(lens)?;
+        Ok(dec)
+    }
+
+    /// Populate the table in place from code lengths.
+    fn init_from_lens(&mut self, lens: &[u8]) -> Result<()> {
+        self.count = [0usize; MAX_CODE_LEN as usize + 1];
         for &l in lens {
             if l > MAX_CODE_LEN {
                 return Err(SzError::Corrupt("huffman code too long"));
             }
             if l > 0 {
-                count[l as usize] += 1;
+                self.count[l as usize] += 1;
             }
         }
-        // Canonical ordering: by (len, symbol).
-        let n_present: usize = count.iter().sum();
-        let mut by_len: Vec<(u8, u32)> = Vec::with_capacity(n_present);
-        by_len.extend(
+        // Canonical ordering: by (len, symbol). The extend walks
+        // symbols in ascending order, so a stable-by-key sort on length
+        // yields the same order as sorting (len, symbol) pairs.
+        self.symbols.clear();
+        self.symbols.extend(
             lens.iter()
                 .enumerate()
                 .filter(|(_, &l)| l > 0)
-                .map(|(s, &l)| (l, s as u32)),
+                .map(|(s, _)| s as u32),
         );
-        by_len.sort_unstable();
-        let mut symbols: Vec<u32> = Vec::with_capacity(n_present);
-        symbols.extend(by_len.iter().map(|&(_, s)| s));
+        self.symbols.sort_by_key(|&s| lens[s as usize]);
 
-        let mut first_code = [0u64; MAX_CODE_LEN as usize + 1];
-        let mut first_index = [0usize; MAX_CODE_LEN as usize + 1];
         let mut code = 0u64;
         let mut index = 0usize;
         for len in 1..=MAX_CODE_LEN as usize {
             code <<= 1;
-            first_code[len] = code;
-            first_index[len] = index;
-            code += count[len] as u64;
-            index += count[len];
+            self.first_code[len] = code;
+            self.first_index[len] = index;
+            code += self.count[len] as u64;
+            index += self.count[len];
         }
-        Ok(HuffmanDecoder {
-            symbols,
-            first_code,
-            first_index,
-            count,
-        })
+        Ok(())
     }
 
     /// Decode one symbol from the reader.
@@ -306,11 +334,20 @@ impl HuffmanDecoder {
 
     /// Decode exactly `n` symbols.
     pub fn decode(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::new();
+        self.decode_into(r, n, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decode exactly `n` symbols into `out` (cleared first), reusing
+    /// its allocation across calls.
+    pub fn decode_into(&self, r: &mut BitReader<'_>, n: usize, out: &mut Vec<u32>) -> Result<()> {
+        out.clear();
+        out.reserve(n);
         for _ in 0..n {
             out.push(self.decode_one(r)?);
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -385,6 +422,41 @@ mod tests {
         let mut w = BitWriter::new();
         enc.encode(&syms, &mut w);
         assert_eq!(w.bit_len() as u64, enc.encoded_bits(&freqs));
+    }
+
+    #[test]
+    fn reused_decoder_matches_fresh() {
+        // One decoder reinit-ed across tables of different shapes must
+        // decode exactly like a freshly deserialized one.
+        let streams: Vec<(Vec<u32>, usize)> = vec![
+            (vec![1, 2, 3, 1, 1, 1, 2, 0, 0, 3], 4),
+            (vec![5; 100], 8),
+            ((0..5_000u32).map(|i| (i * 7919) % 4096).collect(), 4096),
+            (vec![0, 1, 0, 1, 1], 2),
+        ];
+        let mut reused = HuffmanDecoder::default();
+        let mut lens = Vec::new();
+        let mut codes = Vec::new();
+        for (syms, alphabet) in &streams {
+            let enc = HuffmanEncoder::from_symbols(syms, *alphabet);
+            let mut table = Vec::new();
+            enc.serialize(&mut table);
+            let mut w = BitWriter::new();
+            enc.encode(syms, &mut w);
+            let bits = w.finish();
+
+            let mut pos = 0;
+            reused.reinit(&table, &mut pos, &mut lens).unwrap();
+            assert_eq!(pos, table.len());
+            let mut r = BitReader::new(&bits);
+            reused.decode_into(&mut r, syms.len(), &mut codes).unwrap();
+            assert_eq!(&codes, syms);
+
+            let mut pos = 0;
+            let fresh = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
+            let mut r = BitReader::new(&bits);
+            assert_eq!(&fresh.decode(&mut r, syms.len()).unwrap(), syms);
+        }
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub use compressor::{
     Scratch,
 };
 pub use config::{Config, Dims, ErrorBound};
-pub use decompressor::{decompress, decompress_f32, decompress_f64, stream_info, StreamInfo};
+pub use decompressor::{
+    decompress, decompress_f32, decompress_f64, decompress_into, stream_info, DecompressScratch,
+    StreamInfo,
+};
 pub use element::Element;
 pub use error::{Result, SzError};
 pub use sampling::{sample_quantization, SampleCodes};

@@ -46,12 +46,25 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress a stream produced by [`compress`] into `out` (cleared
+/// first), reusing its allocation — the per-chunk decode path calls
+/// this once per chunk per worker.
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
     let (&mode, rest) = input
         .split_first()
         .ok_or(SzError::Truncated("lossless mode"))?;
     match mode {
-        MODE_RAW => Ok(rest.to_vec()),
-        MODE_LZSS => lzss_decompress(rest),
+        MODE_RAW => {
+            out.extend_from_slice(rest);
+            Ok(())
+        }
+        MODE_LZSS => lzss_decompress_into(rest, out),
         _ => Err(SzError::Corrupt("unknown lossless mode")),
     }
 }
@@ -138,13 +151,18 @@ fn lzss_compress(input: &[u8]) -> Vec<u8> {
     out
 }
 
-fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>> {
+fn lzss_decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
     let mut pos = 0usize;
     let n = get_varint(input, &mut pos)? as usize;
-    if n > (1 << 40) {
+    // Even a stream of nothing but maximal match tokens (3 payload
+    // bytes → MAX_MATCH output bytes) cannot expand past
+    // `remaining * MAX_MATCH`, so a forged length varint beyond that
+    // is rejected before it can drive a gigantic reservation.
+    let remaining = input.len() - pos;
+    if n > (1 << 40) || n > remaining.saturating_mul(MAX_MATCH) {
         return Err(SzError::Corrupt("lzss length implausible"));
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     let mut flags = 0u8;
     let mut flag_bits = 0u8;
     while out.len() < n {
@@ -180,7 +198,7 @@ fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>> {
     if out.len() != n {
         return Err(SzError::Corrupt("lzss length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -241,6 +259,37 @@ mod tests {
         // "aaaa..." forces dist-1 overlapping copies
         let data = vec![b'a'; 1000];
         roundtrip(&data);
+    }
+
+    #[test]
+    fn decompress_into_reuses_dirty_buffer() {
+        // The same output buffer recycled across streams of different
+        // sizes and modes must match the allocating path exactly.
+        let streams: Vec<Vec<u8>> = vec![
+            b"abcabcabcabc".repeat(50),
+            (0..255u8).collect(),
+            vec![0u8; 10_000],
+            b"xy".to_vec(),
+        ];
+        let mut buf = vec![0xAAu8; 123]; // dirty on purpose
+        for s in &streams {
+            let c = compress(s);
+            decompress_into(&c, &mut buf).unwrap();
+            assert_eq!(&buf, s);
+        }
+    }
+
+    #[test]
+    fn forged_length_rejected_without_allocation() {
+        // A huge declared length over a tiny payload must be rejected
+        // up front (no terabyte reserve), even below the absolute cap.
+        let mut s = vec![MODE_LZSS];
+        put_varint(&mut s, 1u64 << 39);
+        s.push(0);
+        assert!(matches!(
+            decompress(&s),
+            Err(SzError::Corrupt("lzss length implausible"))
+        ));
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn main() {
             bandwidth: BandwidthModel::tiny_for_tests(),
             throttle_scale: 0.01, // 4 MB/s aggregate: I/O-bound like a busy PFS
             sz_threads: 0,        // honor SZ_THREADS, default serial
+            verify: false,        // timing comparison only; see vpic_particles
             path: path.clone(),
         };
         let res = run_real(&data, &cfg).expect("run failed");

@@ -50,6 +50,7 @@ fn main() {
         bandwidth: BandwidthModel::tiny_for_tests(),
         throttle_scale: 0.5,
         sz_threads: 0, // honor SZ_THREADS, default serial
+        verify: true,  // engine-level read-back check of every element
         path: path.clone(),
     };
     let res = run_real(&data, &cfg).expect("run failed");
@@ -60,6 +61,10 @@ fn main() {
         res.total_time,
         res.ideal_ratio(),
         res.n_overflow
+    );
+    println!(
+        "engine verification re-read every element within bound in {:.2}s",
+        res.breakdown.verify
     );
 
     // Validate each field against the written file.

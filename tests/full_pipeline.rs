@@ -42,6 +42,7 @@ fn base_config(method: Method, path: PathBuf) -> RealConfig {
         bandwidth: BandwidthModel::tiny_for_tests(),
         throttle_scale: 1.0,
         sz_threads: 1,
+        verify: false,
         path,
     }
 }
