@@ -11,4 +11,7 @@ pub mod experiments;
 pub mod setup;
 pub mod table;
 
-pub use setup::{eb_for_bitrate, nyx_profiles, vpic_profiles, ExperimentScale};
+pub use setup::{
+    demo_real_config, eb_for_bitrate, nyx_profiles, partition_1d, partition_3d,
+    partition_stream_step, vpic_profiles, ExperimentScale,
+};

@@ -1,10 +1,46 @@
 //! Shared workload/profile construction for the experiments.
+//!
+//! Also the home of the boilerplate the runnable examples share:
+//! snapshot → per-rank partitioning (re-exported from
+//! [`timeline::data`]) and the demo [`RealConfig`] the real-engine
+//! examples run with.
 
-use predwrite::{profile_partition, replicate_profiles, PartitionProfile};
+use pfsim::BandwidthModel;
+use predwrite::{
+    profile_partition, replicate_profiles, ExtraSpacePolicy, Method, PartitionProfile, RealConfig,
+};
 use ratiomodel::Models;
 use ratiomodel::ThroughputModel;
+use std::path::PathBuf;
 use szlite::{compress_with_stats, Config, Dims};
+pub use timeline::{partition_1d, partition_3d, partition_stream_step};
 use workloads::{nyx, vpic, Decomposition, NyxParams, VpicParams};
+
+/// The demo [`RealConfig`] shared by the real-engine examples: one
+/// relative bound of 1e-3 per field, paper-reference models with a
+/// 20 MB/s stable write throughput, the default extra-space policy and
+/// the small test bandwidth model. `throttle_scale` sets how congested
+/// the simulated PFS is (examples use 0.01 for an I/O-bound run, 0.5
+/// for a balanced one).
+pub fn demo_real_config(
+    method: Method,
+    nfields: usize,
+    throttle_scale: f64,
+    verify: bool,
+    path: PathBuf,
+) -> RealConfig {
+    RealConfig {
+        method,
+        configs: vec![Config::rel(1e-3); nfields],
+        models: Models::with_cthr(20e6),
+        policy: ExtraSpacePolicy::default(),
+        bandwidth: BandwidthModel::tiny_for_tests(),
+        throttle_scale,
+        sz_threads: 0, // honor SZ_THREADS, default serial
+        verify,
+        path,
+    }
+}
 
 /// Experiment scale knob: `quick` finishes in seconds, `full` in a few
 /// minutes. Both exercise the full pipeline; only grid sizes differ.

@@ -29,6 +29,13 @@
 //! compression, real throttled file I/O; used up to 64 ranks) and
 //! [`sim`] (discrete-event replay of partition profiles; used for the
 //! 256–4096-rank sweeps of Fig. 16–18). Both share the planner code.
+//!
+//! The real engine's predict phase is pluggable
+//! ([`real::PredictionSource`]): [`real::run_real_with`] swaps the
+//! prediction source, accepts per-partition extra-space headroom, and
+//! returns per-partition [`real::FieldObservation`]s — the hooks the
+//! `timeline` checkpoint-stream engine uses to adapt predictions and
+//! headroom from step to step.
 
 pub mod extraspace;
 pub mod metrics;
@@ -43,7 +50,10 @@ pub use extraspace::{weight_to_rspace, ExtraSpacePolicy, RSPACE_MAX, RSPACE_MIN}
 pub use metrics::{Breakdown, Method, RunResult};
 pub use plan::{fit_split, plan_overflow, FitSplit, PartitionPrediction, PartitionSlot, WritePlan};
 pub use profile::{profile_partition, replicate_profiles, PartitionProfile};
-pub use real::{run_real, RankFieldData, RealConfig, RealError};
+pub use real::{
+    run_real, run_real_with, FieldObservation, ModelSource, PredictionSource, RankFieldData,
+    RealConfig, RealError, RunObservations, SourceEstimate,
+};
 pub use scheduler::{identity_order, optimize_order, queue_time};
 pub use sim::{simulate_all, simulate_method, SimParams};
 pub use verify::{verify_file, FieldReport, VerifyReport};

@@ -52,9 +52,33 @@ impl WritePlan {
         policy: &ExtraSpacePolicy,
         base: u64,
     ) -> WritePlan {
+        let reserved: Vec<Vec<u64>> = predictions
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|p| policy.reserve_bytes(p.bytes, p.ratio))
+                    .collect()
+            })
+            .collect();
+        WritePlan::build_reserved(predictions, &reserved, base)
+    }
+
+    /// Build the layout with explicit per-partition reservations
+    /// (`reserved[rank][field]`), e.g. from an adaptive per-field
+    /// headroom policy. [`WritePlan::build`] is the uniform-policy
+    /// specialization. Like `build`, the result is a pure function of
+    /// its inputs, so every rank derives the identical layout from the
+    /// gathered predictions.
+    pub fn build_reserved(
+        predictions: &[Vec<PartitionPrediction>],
+        reserved: &[Vec<u64>],
+        base: u64,
+    ) -> WritePlan {
         let nranks = predictions.len();
         let nfields = predictions.first().map_or(0, Vec::len);
         debug_assert!(predictions.iter().all(|p| p.len() == nfields));
+        debug_assert_eq!(reserved.len(), nranks);
+        debug_assert!(reserved.iter().all(|r| r.len() == nfields));
 
         let mut slots = vec![
             vec![
@@ -70,14 +94,12 @@ impl WritePlan {
         let mut cursor = base;
         for f in 0..nfields {
             for (r, rank_preds) in predictions.iter().enumerate() {
-                let p = rank_preds[f];
-                let reserved = policy.reserve_bytes(p.bytes, p.ratio);
                 slots[r][f] = PartitionSlot {
                     offset: cursor,
-                    reserved,
-                    predicted: p.bytes,
+                    reserved: reserved[r][f],
+                    predicted: rank_preds[f].bytes,
                 };
-                cursor += reserved;
+                cursor += reserved[r][f];
             }
         }
         WritePlan {
@@ -200,6 +222,41 @@ mod tests {
         let plan = WritePlan::build(&p, &ExtraSpacePolicy::new(1.25), 0);
         assert_eq!(plan.slots[0][0].reserved, 125);
         assert_eq!(plan.slots[0][1].reserved, 200); // widened by Eq. 3
+    }
+
+    #[test]
+    fn build_reserved_honors_per_partition_reserves() {
+        let p = preds(&[&[100, 200], &[50, 80]]);
+        let reserved = vec![vec![110u64, 260], vec![50, 96]];
+        let plan = WritePlan::build_reserved(&p, &reserved, 32);
+        assert!(plan.is_disjoint());
+        // field-major: f0 r0 @32 (110), f0 r1 @142 (50), f1 r0 @192
+        // (260), f1 r1 @452 (96).
+        assert_eq!(plan.slots[0][0].reserved, 110);
+        assert_eq!(plan.slots[1][0].offset, 142);
+        assert_eq!(plan.slots[0][1].offset, 192);
+        assert_eq!(plan.slots[1][1].offset, 452);
+        assert_eq!(plan.data_end, 548);
+        // Predictions pass through untouched.
+        assert_eq!(plan.slots[1][1].predicted, 80);
+    }
+
+    #[test]
+    fn build_matches_build_reserved_with_policy_reserves() {
+        let p = preds(&[&[100, 200], &[50, 80]]);
+        let policy = ExtraSpacePolicy::new(1.25);
+        let reserved: Vec<Vec<u64>> = p
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|q| policy.reserve_bytes(q.bytes, q.ratio))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            WritePlan::build(&p, &policy, 64),
+            WritePlan::build_reserved(&p, &reserved, 64)
+        );
     }
 
     #[test]

@@ -108,7 +108,104 @@ impl From<szlite::SzError> for RealError {
     }
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+/// Per-partition estimate produced by a [`PredictionSource`] in the
+/// predict phase — everything the planner and scheduler consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceEstimate {
+    /// Predicted compressed size the planner reserves for, bytes.
+    pub bytes: u64,
+    /// Predicted compression ratio (drives Eq. 3 when `headroom` is
+    /// `None`).
+    pub ratio: f64,
+    /// Predicted compression time, seconds (Algorithm 1 input).
+    pub comp_time: f64,
+    /// Predicted write time, seconds (Algorithm 1 input).
+    pub write_time: f64,
+    /// The raw offline-model estimate before any online blending
+    /// (equal to `bytes` for the static source); reported back in
+    /// [`FieldObservation`] so streaming callers can update bias
+    /// corrections against the model, not against themselves.
+    pub model_bytes: u64,
+    /// Per-partition extra-space multiplier override. `None` applies
+    /// the engine-wide [`ExtraSpacePolicy`]; `Some(h)` with `h > 0`
+    /// reserves `ceil(bytes · h)` for this partition. A non-positive
+    /// or non-finite `h` is treated like `None` (it shares the `None`
+    /// encoding on the all-gather wire), so sources wanting a minimal
+    /// reservation should return a small positive multiplier, not 0.
+    pub headroom: Option<f64>,
+}
+
+/// Pluggable prediction phase of the predictive-write pipeline.
+///
+/// [`run_real_with`] calls `estimate` once per (rank, field) inside
+/// the rank threads (implementations must be `Sync`); the resulting
+/// sizes are all-gathered so every rank plans the identical layout.
+/// After the run, the actual compressed sizes come back as
+/// [`RunObservations`] — a streaming caller feeds them into its next
+/// step's source, closing the predict → observe loop the paper's
+/// checkpoint workloads enable.
+pub trait PredictionSource: Sync {
+    /// Estimate one rank's partition of one field.
+    fn estimate(
+        &self,
+        rank: usize,
+        field: usize,
+        data: &[f32],
+        dims: &Dims,
+        cfg: &Config,
+    ) -> Result<SourceEstimate, String>;
+}
+
+/// Default source: the offline-fitted [`Models`] with the engine-wide
+/// extra-space policy (the paper's static single-shot configuration).
+pub struct ModelSource<'a> {
+    /// The fitted models to sample-predict with.
+    pub models: &'a Models,
+}
+
+impl PredictionSource for ModelSource<'_> {
+    fn estimate(
+        &self,
+        _rank: usize,
+        _field: usize,
+        data: &[f32],
+        dims: &Dims,
+        cfg: &Config,
+    ) -> Result<SourceEstimate, String> {
+        let est = ratiomodel::estimate_partition(data, dims, cfg, self.models)
+            .map_err(|e| e.to_string())?;
+        Ok(SourceEstimate {
+            bytes: est.bytes,
+            ratio: est.ratio,
+            comp_time: est.comp_time,
+            write_time: est.write_time,
+            model_bytes: est.bytes,
+            headroom: None,
+        })
+    }
+}
+
+/// What actually happened to one (rank, field) partition — the
+/// feedback half of the streaming loop.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FieldObservation {
+    /// Predicted compressed size the layout was planned with.
+    pub predicted: u64,
+    /// Raw offline-model estimate ([`SourceEstimate::model_bytes`]).
+    pub model_bytes: u64,
+    /// Bytes reserved in the shared file.
+    pub reserved: u64,
+    /// Actual compressed size, bytes.
+    pub actual: u64,
+    /// Bytes redirected to the overflow region (0 when the partition
+    /// fit its reservation).
+    pub overflow: u64,
+}
+
+/// Per-run observations, indexed `[rank][field]`.
+pub type RunObservations = Vec<Vec<FieldObservation>>;
+
+#[derive(Debug, Default, Clone)]
 struct RankOutcome {
     predict: f64,
     allgather: f64,
@@ -119,13 +216,34 @@ struct RankOutcome {
     compressed_bytes: u64,
     overflow_bytes: u64,
     n_overflow: usize,
+    fields: Vec<FieldObservation>,
 }
 
 /// Execute a parallel write with `data[rank][field]`.
 ///
 /// Returns the aggregated [`RunResult`]; the written file at
 /// `cfg.path` is closed and readable with [`h5lite::H5Reader`].
+/// Predictions come from the offline-fitted `cfg.models`; use
+/// [`run_real_with`] to plug in a different [`PredictionSource`] (and
+/// to receive the per-partition observations back).
 pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResult, RealError> {
+    run_real_with(
+        data,
+        cfg,
+        &ModelSource {
+            models: &cfg.models,
+        },
+    )
+    .map(|(res, _)| res)
+}
+
+/// [`run_real`] with a pluggable prediction source, returning the
+/// per-partition [`RunObservations`] alongside the aggregate result.
+pub fn run_real_with<S: PredictionSource + ?Sized>(
+    data: &[Vec<RankFieldData>],
+    cfg: &RealConfig,
+    source: &S,
+) -> Result<(RunResult, RunObservations), RealError> {
     let nranks = data.len();
     if nranks == 0 {
         return Err(RealError("no ranks".into()));
@@ -188,7 +306,10 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
     let outcomes: Vec<Result<RankOutcome, String>> = world.run(|rk| {
         let r = rk.rank();
         let run = || -> Result<RankOutcome, String> {
-            let mut out = RankOutcome::default();
+            let mut out = RankOutcome {
+                fields: vec![FieldObservation::default(); nfields],
+                ..RankOutcome::default()
+            };
             let t0 = Instant::now();
             match cfg.method {
                 Method::NoCompression => {
@@ -230,6 +351,13 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
                         )
                         .map_err(|e| e.to_string())?;
                         out.compressed_bytes += len;
+                        out.fields[f] = FieldObservation {
+                            predicted: len,
+                            model_bytes: len,
+                            reserved: len,
+                            actual: len,
+                            overflow: 0,
+                        };
                     }
                     es.wait().map_err(|e| e.to_string())?;
                     out.write = t0.elapsed().as_secs_f64();
@@ -289,43 +417,74 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
                         )
                         .map_err(|e| e.to_string())?;
                         rk.barrier();
+                        let len = streams[f].len() as u64;
+                        out.fields[f] = FieldObservation {
+                            predicted: len,
+                            model_bytes: len,
+                            reserved: len,
+                            actual: len,
+                            overflow: 0,
+                        };
                     }
                     out.write = tw.elapsed().as_secs_f64();
                     out.compressed_bytes = streams.iter().map(|s| s.len() as u64).sum();
                 }
                 Method::Overlap | Method::OverlapReorder => {
-                    // Phase 1: prediction.
+                    // Phase 1: prediction (pluggable source).
                     let tp = Instant::now();
                     let mut my_preds = Vec::with_capacity(nfields);
                     for f in 0..nfields {
-                        let est = ratiomodel::estimate_partition(
+                        let est = source.estimate(
+                            r,
+                            f,
                             &data[r][f].data,
                             &data[r][f].dims,
                             &cfg.configs[f],
-                            &cfg.models,
-                        )
-                        .map_err(|e| e.to_string())?;
+                        )?;
                         my_preds.push(est);
+                        out.fields[f].predicted = est.bytes;
+                        out.fields[f].model_bytes = est.model_bytes;
                     }
                     out.predict = tp.elapsed().as_secs_f64();
 
-                    // Phase 2: all-gather predicted sizes.
+                    // Phase 2: all-gather predicted sizes (plus any
+                    // per-partition headroom override; ≤ 0 encodes
+                    // "use the engine policy" on the wire).
                     let ta = Instant::now();
-                    let wire: Vec<(u64, f64)> =
-                        my_preds.iter().map(|e| (e.bytes, e.ratio)).collect();
-                    let gathered: Vec<Vec<(u64, f64)>> = rk.all_gather(wire);
+                    let wire: Vec<(u64, f64, f64)> = my_preds
+                        .iter()
+                        .map(|e| (e.bytes, e.ratio, e.headroom.unwrap_or(-1.0)))
+                        .collect();
+                    let gathered: Vec<Vec<(u64, f64, f64)>> = rk.all_gather(wire);
                     out.allgather = ta.elapsed().as_secs_f64();
 
-                    // Phase 3: identical layout on every rank.
+                    // Phase 3: identical layout on every rank. Ranks
+                    // see identical gathered triples, so the derived
+                    // reservations (and thus offsets) agree without
+                    // further communication.
                     let preds: Vec<Vec<PartitionPrediction>> = gathered
                         .iter()
                         .map(|row| {
                             row.iter()
-                                .map(|&(bytes, ratio)| PartitionPrediction { bytes, ratio })
+                                .map(|&(bytes, ratio, _)| PartitionPrediction { bytes, ratio })
                                 .collect()
                         })
                         .collect();
-                    let plan = WritePlan::build(&preds, &cfg.policy, base);
+                    let reserves: Vec<Vec<u64>> = gathered
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .map(|&(bytes, ratio, h)| {
+                                    if h > 0.0 {
+                                        (bytes as f64 * h).ceil() as u64
+                                    } else {
+                                        cfg.policy.reserve_bytes(bytes, ratio)
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    let plan = WritePlan::build_reserved(&preds, &reserves, base);
 
                     // Phase 4: compression order.
                     let order = if cfg.method == Method::OverlapReorder {
@@ -371,6 +530,8 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
                             comp_total += secs;
                             out.compressed_bytes += stream.len() as u64;
                             let slot = plan.slots[r][f];
+                            out.fields[f].actual = stream.len() as u64;
+                            out.fields[f].reserved = slot.reserved;
                             let split = fit_split(stream.len() as u64, slot.reserved);
                             let tail = stream.split_off(split.in_slot as usize);
                             es.write_at(
@@ -412,6 +573,7 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
                     let mut my_ovf = vec![0u64; nfields];
                     for (f, bytes) in &overflow_parts {
                         my_ovf[*f] = bytes.len() as u64;
+                        out.fields[*f].overflow = bytes.len() as u64;
                     }
                     let all_ovf: Vec<Vec<u64>> = rk.all_gather(my_ovf);
                     let any_overflow = all_ovf.iter().flatten().any(|&b| b > 0);
@@ -448,6 +610,7 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
     });
 
     let mut agg = RankOutcome::default();
+    let mut observations: RunObservations = Vec::with_capacity(nranks);
     for o in outcomes {
         let o = o.map_err(RealError)?;
         agg.predict = agg.predict.max(o.predict);
@@ -459,6 +622,7 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
         agg.compressed_bytes += o.compressed_bytes;
         agg.overflow_bytes += o.overflow_bytes;
         agg.n_overflow += o.n_overflow;
+        observations.push(o.fields);
     }
 
     // Metadata: record run parameters as attributes, then close.
@@ -497,21 +661,24 @@ pub fn run_real(data: &[Vec<RankFieldData>], cfg: &RealConfig) -> Result<RunResu
         .map(|fd| (fd.data.len() * 4) as u64)
         .sum();
     let file_bytes = std::fs::metadata(&cfg.path).map(|m| m.len()).unwrap_or(0);
-    Ok(RunResult {
-        method: cfg.method,
-        total_time: agg.total,
-        breakdown: Breakdown {
-            predict: agg.predict,
-            allgather: agg.allgather,
-            compress: agg.compress,
-            write: agg.write,
-            overflow: agg.overflow,
-            verify: verify_secs,
+    Ok((
+        RunResult {
+            method: cfg.method,
+            total_time: agg.total,
+            breakdown: Breakdown {
+                predict: agg.predict,
+                allgather: agg.allgather,
+                compress: agg.compress,
+                write: agg.write,
+                overflow: agg.overflow,
+                verify: verify_secs,
+            },
+            raw_bytes,
+            compressed_bytes: agg.compressed_bytes,
+            file_bytes,
+            n_overflow: agg.n_overflow,
+            overflow_bytes: agg.overflow_bytes,
         },
-        raw_bytes,
-        compressed_bytes: agg.compressed_bytes,
-        file_bytes,
-        n_overflow: agg.n_overflow,
-        overflow_bytes: agg.overflow_bytes,
-    })
+        observations,
+    ))
 }

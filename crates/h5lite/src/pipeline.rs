@@ -10,8 +10,7 @@
 //!   scoped threads) that runs jobs out of order but delivers results
 //!   to a sink *in index order*;
 //! * [`compress_chunks`] — chunk tiles fanned out to compression
-//!   workers, each reusing a [`FilterScratch`](crate::FilterScratch)
-//!   across its chunks;
+//!   workers, each reusing a [`FilterScratch`] across its chunks;
 //! * [`H5File::write_full_pipelined`](crate::H5File::write_full_pipelined)
 //!   — streams each compressed chunk straight into an
 //!   [`EventSet`](crate::EventSet) write queue.

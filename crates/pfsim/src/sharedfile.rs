@@ -22,6 +22,10 @@ struct Inner {
     path: PathBuf,
     /// Logical end of file for reservations.
     tail: AtomicU64,
+    /// High-water mark of explicit [`SharedFile::advance_tail_to`]
+    /// offsets: layout regions only ever grow, so a smaller offset
+    /// means a stale caller (debug-asserted; saturating in release).
+    advance_mark: AtomicU64,
     /// Serializes seek-based fallback I/O on non-Unix targets.
     #[cfg_attr(unix, allow(dead_code))]
     meta: Mutex<()>,
@@ -47,6 +51,7 @@ impl SharedFile {
                 file,
                 path: path.as_ref().to_path_buf(),
                 tail: AtomicU64::new(0),
+                advance_mark: AtomicU64::new(0),
                 meta: Mutex::new(()),
             }),
         })
@@ -64,6 +69,7 @@ impl SharedFile {
                 file,
                 path: path.as_ref().to_path_buf(),
                 tail: AtomicU64::new(len),
+                advance_mark: AtomicU64::new(0),
                 meta: Mutex::new(()),
             }),
         })
@@ -117,9 +123,22 @@ impl SharedFile {
     }
 
     /// Move the logical tail to at least `offset` (e.g. after planning
-    /// the reserved layout region).
-    pub fn advance_tail_to(&self, offset: u64) {
+    /// the reserved layout region), returning the resulting tail.
+    ///
+    /// Explicit advances must be monotone: planned layout regions only
+    /// ever grow, so an `offset` below a previously advanced one means
+    /// a stale caller replaying an old plan. That is rejected with a
+    /// debug assertion; in release builds the call saturates — the
+    /// tail (and the advance high-water mark) never move backwards, so
+    /// reservations handed out after the newer advance stay disjoint.
+    pub fn advance_tail_to(&self, offset: u64) -> u64 {
+        let prev_mark = self.inner.advance_mark.fetch_max(offset, Ordering::SeqCst);
+        debug_assert!(
+            offset >= prev_mark,
+            "advance_tail_to({offset}) rewinds below the previous explicit advance ({prev_mark})"
+        );
         self.inner.tail.fetch_max(offset, Ordering::SeqCst);
+        self.inner.tail.load(Ordering::SeqCst)
     }
 
     /// Current logical tail (reservations included).
@@ -215,6 +234,46 @@ mod tests {
         f.write_at(500, &[1, 2, 3]).unwrap();
         assert_eq!(f.tail(), 503);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn advance_tail_is_monotone_and_saturating() {
+        let path = tmp("adv");
+        let f = SharedFile::create(&path).unwrap();
+        assert_eq!(f.advance_tail_to(100), 100);
+        // Re-advancing to the same offset is fine (every rank derives
+        // the same plan and may advance identically).
+        assert_eq!(f.advance_tail_to(100), 100);
+        // A write past the advance moves the tail further; the next
+        // (monotone) advance below the tail saturates instead of
+        // rewinding it.
+        f.write_at(150, &[0u8; 10]).unwrap();
+        assert_eq!(f.advance_tail_to(120), 160);
+        assert_eq!(f.tail(), 160);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "rewinds below the previous explicit advance")]
+    fn advance_tail_rejects_rewind_in_debug() {
+        let path = tmp("adv-rewind");
+        let f = SharedFile::create(&path).unwrap();
+        f.advance_tail_to(4096);
+        let _guard = scopeguard(&path);
+        f.advance_tail_to(512); // stale caller replaying an old plan
+    }
+
+    /// Remove the temp file even though the enclosing test panics.
+    #[cfg(debug_assertions)]
+    fn scopeguard(path: &Path) -> impl Drop + '_ {
+        struct G<'a>(&'a Path);
+        impl Drop for G<'_> {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(self.0);
+            }
+        }
+        G(path)
     }
 
     #[test]

@@ -11,17 +11,22 @@
 //!   throughput.
 //! * [`fit`] — the offline calibration procedure (compress one sample
 //!   field across error bounds, fit, reuse everywhere — §IV-B).
+//! * [`online`] — streaming adaptation for timestep sequences: a
+//!   per-partition EWMA bias correction over observed ratios, blended
+//!   with the offline model, plus error-band-driven headroom.
 //!
 //! [`estimate_partition`] bundles all three into the per-partition
 //! triple the scheduler consumes: predicted size, compression time,
 //! and write time.
 
 pub mod fit;
+pub mod online;
 pub mod ratio;
 pub mod throughput;
 pub mod writetime;
 
 pub use fit::{calibrate, observe, paper_bound_sweep, Observation};
+pub use online::{CellStats, OnlineConfig, OnlinePrediction, OnlinePredictor};
 pub use ratio::{predict, predict_default, LosslessGain, RatioPrediction};
 pub use throughput::{fit as fit_throughput, ThroughputModel};
 pub use writetime::{fit as fit_writetime, WriteTimeModel};

@@ -1,0 +1,106 @@
+//! Partitioning of workload snapshots into per-rank engine inputs.
+//!
+//! Shared by the timeline engine's stream driver, the benches and the
+//! examples — the one place that turns a [`Dataset`] into the
+//! `data[rank][field]` shape [`predwrite::run_real`] consumes.
+
+use predwrite::RankFieldData;
+use szlite::Dims;
+use workloads::{split_1d, Dataset, Decomposition, SnapshotStream};
+
+/// Decompose a 3-D grid snapshot into `nranks` contiguous sub-blocks
+/// per field. Every field must share the first field's (3-D) extents,
+/// and the process grid must divide them (the generators produce
+/// power-of-two sides, so powers of two always work).
+pub fn partition_3d(ds: &Dataset, nranks: usize) -> Vec<Vec<RankFieldData>> {
+    let dims = &ds.fields.first().expect("dataset has no fields").dims;
+    assert_eq!(dims.len(), 3, "partition_3d requires 3-D fields");
+    let domain = [dims[0], dims[1], dims[2]];
+    let dec = Decomposition::new(nranks, domain);
+    let bd = dec.block;
+    (0..nranks)
+        .map(|r| {
+            ds.fields
+                .iter()
+                .map(|f| RankFieldData {
+                    name: f.name.clone(),
+                    data: dec.extract(f, r),
+                    dims: Dims::d3(bd[0], bd[1], bd[2]),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Split a 1-D (particle) snapshot into `nranks` equal partitions per
+/// field, truncating the remainder so chunks stay uniform (the chunked
+/// dataset layout requires equal per-rank partition sizes).
+pub fn partition_1d(ds: &Dataset, nranks: usize) -> Vec<Vec<RankFieldData>> {
+    let n = ds.fields.first().expect("dataset has no fields").len();
+    let per_rank = n / nranks;
+    assert!(per_rank > 0, "more ranks than points");
+    let splits: Vec<Vec<Vec<f32>>> = ds.fields.iter().map(|f| split_1d(f, nranks)).collect();
+    (0..nranks)
+        .map(|r| {
+            ds.fields
+                .iter()
+                .zip(&splits)
+                .map(|(f, parts)| RankFieldData {
+                    name: f.name.clone(),
+                    data: parts[r][..per_rank].to_vec(),
+                    dims: Dims::d1(per_rank),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Generate and partition one stream step: 1-D splits for particle
+/// streams, 3-D decomposition for grid streams.
+pub fn partition_stream_step(
+    stream: &SnapshotStream,
+    step: usize,
+    nranks: usize,
+) -> Vec<Vec<RankFieldData>> {
+    let ds = stream.snapshot(step);
+    if stream.is_particle() {
+        partition_1d(&ds, nranks)
+    } else {
+        partition_3d(&ds, nranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{nyx, vpic, NyxParams, VpicParams};
+
+    #[test]
+    fn partition_3d_covers_every_point() {
+        let ds = nyx::snapshot(NyxParams::with_side(8));
+        let parts = partition_3d(&ds, 8);
+        assert_eq!(parts.len(), 8);
+        let total: usize = parts.iter().map(|r| r[0].data.len()).sum();
+        assert_eq!(total, 512);
+        assert!(parts.iter().all(|r| r.len() == 6));
+    }
+
+    #[test]
+    fn partition_1d_truncates_to_uniform_chunks() {
+        let ds = vpic::snapshot(VpicParams::with_particles(1001));
+        let parts = partition_1d(&ds, 4);
+        assert_eq!(parts.len(), 4);
+        for r in &parts {
+            assert_eq!(r.len(), 8);
+            assert!(r.iter().all(|f| f.data.len() == 250));
+        }
+    }
+
+    #[test]
+    fn stream_step_picks_the_right_split() {
+        let parts = partition_stream_step(&SnapshotStream::nyx(8), 0, 8);
+        assert_eq!(parts[0][0].dims.extents(), &[4, 4, 4][..]);
+        let parts = partition_stream_step(&SnapshotStream::vpic(512), 0, 4);
+        assert_eq!(parts[0][0].dims.extents(), &[128][..]);
+    }
+}

@@ -1,0 +1,212 @@
+//! The checkpoint-stream engine: drive the real predictive-write
+//! engine across a sequence of timesteps.
+//!
+//! Each step writes one container file through
+//! [`predwrite::run_real_with`]. In [`AdaptMode::Static`] every step
+//! predicts with the offline models and the engine-wide extra-space
+//! policy — the paper's single-shot configuration replayed per step.
+//! In [`AdaptMode::Adaptive`] an [`OnlineSource`] blends the offline
+//! model with the ratios observed in prior steps and adapts each
+//! partition's headroom from its prediction-error band; the step's
+//! observed chunk sizes are fed back afterwards, so prediction
+//! sharpens (and reservations tighten) as history accumulates.
+
+use crate::adaptive::OnlineSource;
+use crate::metrics::{StepMetrics, TimelineReport};
+use pfsim::BandwidthModel;
+use predwrite::{
+    run_real_with, ExtraSpacePolicy, Method, ModelSource, RankFieldData, RealConfig, RealError,
+};
+use ratiomodel::{Models, OnlineConfig};
+use std::path::PathBuf;
+use szlite::Config;
+
+/// Prediction/headroom policy of a timeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptMode {
+    /// Offline models + engine-wide extra-space policy every step.
+    Static,
+    /// Online bias correction + per-partition adaptive headroom.
+    Adaptive(OnlineConfig),
+}
+
+impl AdaptMode {
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdaptMode::Static => "static",
+            AdaptMode::Adaptive(_) => "adaptive",
+        }
+    }
+}
+
+/// Configuration of a timeline run.
+#[derive(Debug, Clone)]
+pub struct TimelineConfig {
+    /// Number of timesteps to stream.
+    pub steps: usize,
+    /// Write method per step ([`Method::Overlap`] or
+    /// [`Method::OverlapReorder`] exercise the predictive path).
+    pub method: Method,
+    /// Per-field compression configuration.
+    pub configs: Vec<Config>,
+    /// Offline-fitted models (the prediction baseline in both modes).
+    pub models: Models,
+    /// Static extra-space policy (and the adaptive mode's warm-up
+    /// fallback).
+    pub policy: ExtraSpacePolicy,
+    /// Bandwidth model for the write throttle.
+    pub bandwidth: BandwidthModel,
+    /// Throttle scale (see [`RealConfig::throttle_scale`]).
+    pub throttle_scale: f64,
+    /// Compression/decode workers per rank (see
+    /// [`RealConfig::sz_threads`]).
+    pub sz_threads: usize,
+    /// Prediction/headroom mode.
+    pub mode: AdaptMode,
+    /// Read back and bound-check every step's file (the step fails on
+    /// a violation).
+    pub verify: bool,
+    /// Directory the per-step container files are written into
+    /// (created if missing).
+    pub dir: PathBuf,
+    /// Keep the step files on disk (default workflows delete each file
+    /// once its metrics are collected, like a rotating checkpoint).
+    pub keep_files: bool,
+}
+
+impl TimelineConfig {
+    /// A small, fast configuration for tests and examples: `steps`
+    /// streamed checkpoints of `nfields` fields at relative bound
+    /// 1e-3, lightly throttled, verified, files deleted after each
+    /// step.
+    pub fn quick(steps: usize, nfields: usize, mode: AdaptMode, dir: PathBuf) -> Self {
+        TimelineConfig {
+            steps,
+            method: Method::Overlap,
+            configs: vec![Config::rel(1e-3); nfields],
+            models: Models::with_cthr(50e6),
+            policy: ExtraSpacePolicy::default(),
+            bandwidth: BandwidthModel::tiny_for_tests(),
+            throttle_scale: 1.0,
+            sz_threads: 1,
+            mode,
+            verify: true,
+            dir,
+            keep_files: false,
+        }
+    }
+
+    /// Container path of one step's checkpoint.
+    pub fn step_path(&self, step: usize) -> PathBuf {
+        self.dir.join(format!("step-{step:04}.h5l"))
+    }
+}
+
+/// Stream `cfg.steps` checkpoints, pulling each step's partitioned
+/// data from `step_data(step)` (shape `data[rank][field]`, uniform
+/// across steps). The callback may return owned data (generating each
+/// step on the fly) or a borrow of pre-generated steps — e.g.
+/// `|s| &data[s]` when comparing modes over identical inputs.
+///
+/// Returns the per-step metrics; any engine or verification failure
+/// aborts the stream with the failing step's error.
+pub fn run_timeline<F, D>(
+    cfg: &TimelineConfig,
+    mut step_data: F,
+) -> Result<TimelineReport, RealError>
+where
+    F: FnMut(usize) -> D,
+    D: std::borrow::Borrow<Vec<Vec<RankFieldData>>>,
+{
+    std::fs::create_dir_all(&cfg.dir)
+        .map_err(|e| RealError(format!("timeline: create {}: {e}", cfg.dir.display())))?;
+    let mut online: Option<OnlineSource> = None;
+    let mut steps = Vec::with_capacity(cfg.steps);
+    for step in 0..cfg.steps {
+        let data = step_data(step);
+        let data = data.borrow();
+        let nranks = data.len();
+        let nfields = data.first().map_or(0, Vec::len);
+        let rc = RealConfig {
+            method: cfg.method,
+            configs: cfg.configs.clone(),
+            models: cfg.models,
+            policy: cfg.policy,
+            bandwidth: cfg.bandwidth,
+            throttle_scale: cfg.throttle_scale,
+            sz_threads: cfg.sz_threads,
+            verify: cfg.verify,
+            path: cfg.step_path(step),
+        };
+        let (result, obs) = match &cfg.mode {
+            AdaptMode::Static => run_real_with(
+                data,
+                &rc,
+                &ModelSource {
+                    models: &cfg.models,
+                },
+            )?,
+            AdaptMode::Adaptive(ocfg) => {
+                if online.is_none() {
+                    online = Some(OnlineSource::new(nranks, nfields, cfg.models, *ocfg));
+                }
+                let src = online.as_mut().expect("just initialized");
+                if src.nranks() != nranks || src.nfields() != nfields {
+                    return Err(RealError(format!(
+                        "timeline: step {step} changed shape to {nranks}×{nfields} \
+                         (stream started at {}×{})",
+                        src.nranks(),
+                        src.nfields()
+                    )));
+                }
+                let out = run_real_with(data, &rc, &*src)?;
+                src.observe_run(&out.1);
+                out
+            }
+        };
+        let mean_rel_err = match (&cfg.mode, &online) {
+            (AdaptMode::Adaptive(_), Some(src)) => src.predictor().mean_rel_err(),
+            _ => step_mean_rel_err(&obs),
+        };
+        steps.push(StepMetrics::collect(step, result, &obs, mean_rel_err));
+        if !cfg.keep_files {
+            let _ = std::fs::remove_file(rc.path);
+        }
+    }
+    Ok(TimelineReport {
+        mode: cfg.mode.label().to_string(),
+        steps,
+    })
+}
+
+/// Mean relative prediction error of one step's partitions (the
+/// static mode has no EWMA, so report the instantaneous error).
+fn step_mean_rel_err(obs: &predwrite::RunObservations) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for o in obs.iter().flatten() {
+        if o.actual > 0 {
+            sum += (o.predicted as f64 - o.actual as f64).abs() / o.actual as f64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// [`run_timeline`] over a [`workloads::SnapshotStream`]: generates
+/// and partitions each step's snapshot (3-D decomposition for grid
+/// streams, uniform 1-D splits for particle streams).
+pub fn run_stream(
+    cfg: &TimelineConfig,
+    stream: &workloads::SnapshotStream,
+    nranks: usize,
+) -> Result<TimelineReport, RealError> {
+    run_timeline(cfg, |step| {
+        crate::data::partition_stream_step(stream, step, nranks)
+    })
+}

@@ -1,0 +1,169 @@
+//! Per-step and per-run accounting of a timeline stream.
+
+use predwrite::{RunObservations, RunResult};
+
+/// What one streamed checkpoint cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepMetrics {
+    /// Timestep index.
+    pub step: usize,
+    /// The underlying engine result (timings, file size, overflows).
+    pub result: RunResult,
+    /// Bytes reserved across all partitions.
+    pub reserved_bytes: u64,
+    /// Reserved bytes left unused — the extra-space waste the
+    /// adaptive headroom exists to shrink.
+    pub waste_bytes: u64,
+    /// Sum of predicted compressed sizes.
+    pub predicted_bytes: u64,
+    /// Sum of actual compressed sizes.
+    pub actual_bytes: u64,
+    /// Mean relative prediction error: the EWMA-tracked error after
+    /// feedback in adaptive mode, the step's instantaneous error in
+    /// static mode.
+    pub mean_rel_err: f64,
+}
+
+impl StepMetrics {
+    /// Derive one step's metrics from the engine output.
+    pub fn collect(
+        step: usize,
+        result: RunResult,
+        obs: &RunObservations,
+        mean_rel_err: f64,
+    ) -> Self {
+        let mut reserved = 0u64;
+        let mut waste = 0u64;
+        let mut predicted = 0u64;
+        let mut actual = 0u64;
+        for o in obs.iter().flatten() {
+            reserved += o.reserved;
+            // Bytes of the reservation the partition did not fill (an
+            // overflowing partition fills it exactly).
+            let in_slot = o.actual - o.overflow;
+            waste += o.reserved.saturating_sub(in_slot);
+            predicted += o.predicted;
+            actual += o.actual;
+        }
+        StepMetrics {
+            step,
+            result,
+            reserved_bytes: reserved,
+            waste_bytes: waste,
+            predicted_bytes: predicted,
+            actual_bytes: actual,
+            mean_rel_err,
+        }
+    }
+}
+
+/// Aggregate outcome of one timeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineReport {
+    /// [`crate::AdaptMode`] label the run used.
+    pub mode: String,
+    /// One entry per streamed step, in step order.
+    pub steps: Vec<StepMetrics>,
+}
+
+impl TimelineReport {
+    /// Cumulative extra-space waste across the stream.
+    pub fn total_waste(&self) -> u64 {
+        self.steps.iter().map(|s| s.waste_bytes).sum()
+    }
+
+    /// Total overflow-redirection events across the stream.
+    pub fn total_overflows(&self) -> usize {
+        self.steps.iter().map(|s| s.result.n_overflow).sum()
+    }
+
+    /// Total bytes redirected to overflow regions.
+    pub fn total_overflow_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.result.overflow_bytes).sum()
+    }
+
+    /// Total container-file bytes written.
+    pub fn total_file_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.result.file_bytes).sum()
+    }
+
+    /// Total actual compressed bytes.
+    pub fn total_compressed_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.result.compressed_bytes).sum()
+    }
+
+    /// Sum of per-step wall clocks (slowest rank each step).
+    pub fn total_time(&self) -> f64 {
+        self.steps.iter().map(|s| s.result.total_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predwrite::{Breakdown, FieldObservation, Method};
+
+    fn result(n_overflow: usize, overflow_bytes: u64, file_bytes: u64) -> RunResult {
+        RunResult {
+            method: Method::Overlap,
+            total_time: 1.0,
+            breakdown: Breakdown::default(),
+            raw_bytes: 4000,
+            compressed_bytes: 1000,
+            file_bytes,
+            n_overflow,
+            overflow_bytes,
+        }
+    }
+
+    #[test]
+    fn waste_counts_unused_reservation_only() {
+        let obs: RunObservations = vec![vec![
+            // Fits with 50 spare.
+            FieldObservation {
+                predicted: 100,
+                model_bytes: 100,
+                reserved: 150,
+                actual: 100,
+                overflow: 0,
+            },
+            // Overflows: slot filled exactly, zero waste.
+            FieldObservation {
+                predicted: 100,
+                model_bytes: 100,
+                reserved: 120,
+                actual: 200,
+                overflow: 80,
+            },
+        ]];
+        let m = StepMetrics::collect(0, result(1, 80, 500), &obs, 0.25);
+        assert_eq!(m.reserved_bytes, 270);
+        assert_eq!(m.waste_bytes, 50);
+        assert_eq!(m.predicted_bytes, 200);
+        assert_eq!(m.actual_bytes, 300);
+    }
+
+    #[test]
+    fn report_totals_sum_over_steps() {
+        let obs: RunObservations = vec![vec![FieldObservation {
+            predicted: 100,
+            model_bytes: 100,
+            reserved: 130,
+            actual: 100,
+            overflow: 0,
+        }]];
+        let steps = vec![
+            StepMetrics::collect(0, result(0, 0, 400), &obs, 0.0),
+            StepMetrics::collect(1, result(2, 60, 450), &obs, 0.0),
+        ];
+        let rep = TimelineReport {
+            mode: "static".into(),
+            steps,
+        };
+        assert_eq!(rep.total_waste(), 60);
+        assert_eq!(rep.total_overflows(), 2);
+        assert_eq!(rep.total_overflow_bytes(), 60);
+        assert_eq!(rep.total_file_bytes(), 850);
+        assert!((rep.total_time() - 2.0).abs() < 1e-12);
+    }
+}

@@ -18,12 +18,14 @@ pub mod noise;
 pub mod nyx;
 pub mod partition;
 pub mod rtm;
+pub mod stream;
 pub mod vpic;
 
 pub use field::{Dataset, Field};
 pub use nyx::{NyxParams, NYX_FIELDS};
 pub use partition::{factor3, split_1d, Decomposition};
 pub use rtm::RtmParams;
+pub use stream::{SnapshotStream, StreamKind};
 pub use vpic::{VpicParams, VPIC_FIELDS};
 
 #[cfg(test)]

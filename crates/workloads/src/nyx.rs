@@ -31,6 +31,11 @@ pub struct NyxParams {
     pub redshift: f64,
     /// Base feature wavelength in grid cells.
     pub feature_scale: f64,
+    /// Grid-cell offsets added to the (x, y, z) sample coordinates:
+    /// advection of the cosmic web past the grid. Timestep streams
+    /// advance this per step so consecutive snapshots are strongly
+    /// correlated but not identical.
+    pub drift: [f64; 3],
 }
 
 impl Default for NyxParams {
@@ -40,6 +45,7 @@ impl Default for NyxParams {
             seed: 0x4E59,
             redshift: 2.0,
             feature_scale: 24.0,
+            drift: [0.0; 3],
         }
     }
 }
@@ -81,12 +87,16 @@ fn contrast(redshift: f64) -> f64 {
     2.4 / (1.0 + 0.35 * redshift.max(0.0))
 }
 
-fn gen_grid(side: usize, f: impl Fn(f64, f64, f64) -> f64 + Sync) -> Vec<f32> {
+fn gen_grid(side: usize, drift: [f64; 3], f: impl Fn(f64, f64, f64) -> f64 + Sync) -> Vec<f32> {
     let mut out = Vec::with_capacity(side * side * side);
     for z in 0..side {
         for y in 0..side {
             for x in 0..side {
-                out.push(f(x as f64, y as f64, z as f64) as f32);
+                out.push(f(
+                    x as f64 + drift[0],
+                    y as f64 + drift[1],
+                    z as f64 + drift[2],
+                ) as f32);
             }
         }
     }
@@ -111,22 +121,22 @@ pub fn snapshot(p: NyxParams) -> Dataset {
 
     // Log-density exponents are clamped to keep the dynamic range near
     // real Nyx snapshots (~5 decades), not runaway halo peaks.
-    let baryon = gen_grid(p.side, |x, y, z| {
+    let baryon = gen_grid(p.side, p.drift, |x, y, z| {
         let g = (web(x, y, z) * c + halos(x, y, z) * c).clamp(-5.5, 5.5);
         1.0e8 * g.exp()
     });
-    let dm = gen_grid(p.side, |x, y, z| {
+    let dm = gen_grid(p.side, p.drift, |x, y, z| {
         let g = (fbm(x / s, y / s, z / s, seed ^ 0x11, 5, 0.6) * (c * 1.2)
             + halos(x + 3.0, y + 7.0, z + 11.0) * (c * 1.4))
             .clamp(-6.0, 6.0);
         3.2e9 * g.exp()
     });
-    let temp = gen_grid(p.side, |x, y, z| {
+    let temp = gen_grid(p.side, p.drift, |x, y, z| {
         let g = web(x, y, z) * 0.8 + fbm(x / s, y / s, z / s, seed ^ 0x22, 4, 0.5) * 0.4;
         1.0e4 * (g * c * 0.9).exp()
     });
     let vel = |axis_seed: u64| {
-        gen_grid(p.side, move |x, y, z| {
+        gen_grid(p.side, p.drift, move |x, y, z| {
             2.0e7
                 * fbm(
                     x / (s * 1.5),

@@ -21,6 +21,10 @@ pub struct RtmParams {
     pub n_sources: usize,
     /// Dominant wavelength in grid cells.
     pub wavelength: f64,
+    /// Propagation time in grid cells travelled (unit phase speed):
+    /// wavefronts radiate outward as `time` advances, so snapshots at
+    /// nearby times are strongly correlated; `0.0` is the static field.
+    pub time: f64,
 }
 
 impl Default for RtmParams {
@@ -30,6 +34,7 @@ impl Default for RtmParams {
             seed: 0x52_54_4D,
             n_sources: 6,
             wavelength: 12.0,
+            time: 0.0,
         }
     }
 }
@@ -70,8 +75,9 @@ pub fn snapshot(p: RtmParams) -> Dataset {
                     let r = ((xf - sx).powi(2) + (yf - sy).powi(2) + (zf - sz).powi(2))
                         .sqrt()
                         .max(1.0);
-                    // Decaying spherical wavelet with a Gaussian envelope.
-                    v += (k * r + ph).sin() * (-r / (n as f64 * 0.6)).exp() / r.sqrt();
+                    // Decaying spherical wavelet with a Gaussian
+                    // envelope, travelling outward at unit phase speed.
+                    v += (k * (r - p.time) + ph).sin() * (-r / (n as f64 * 0.6)).exp() / r.sqrt();
                 }
                 // Smooth background (velocity-model imprint) + v.
                 v += 0.05 * fbm(xf / 20.0, yf / 20.0, zf / 20.0, p.seed ^ 0x9, 3, 0.5);

@@ -25,6 +25,10 @@ pub struct VpicParams {
     pub thermal: f64,
     /// Beam (reconnection outflow) speed near the current sheet.
     pub beam: f64,
+    /// Simulation time. Particles advect with their momenta (periodic
+    /// in x/z) and momenta wobble slowly, so snapshots at nearby times
+    /// are strongly correlated; `0.0` reproduces the static dump.
+    pub time: f64,
 }
 
 impl Default for VpicParams {
@@ -35,6 +39,7 @@ impl Default for VpicParams {
             box_size: 100.0,
             thermal: 0.3,
             beam: 1.2,
+            time: 0.0,
         }
     }
 }
@@ -73,24 +78,37 @@ pub fn snapshot(p: VpicParams) -> Dataset {
     let mut energy = Vec::with_capacity(n);
     let mut weight = Vec::with_capacity(n);
 
+    let t = p.time;
     for i in 0..n as u64 {
         // Positions: x,z uniform; y concentrated near the sheet (y=0)
         // with a Harris-sheet-like profile (tanh-distributed).
-        let x = uniform01(i, s) * p.box_size;
-        let z = uniform01(i, s ^ 0x33) * p.box_size;
+        let x0 = uniform01(i, s) * p.box_size;
+        let z0 = uniform01(i, s ^ 0x33) * p.box_size;
         let u = uniform01(i, s ^ 0x44) * 2.0 - 1.0;
-        let y = (u.clamp(-0.999_999, 0.999_999)).atanh() * 2.0; // heavy center, long tails
+        let y0 = (u.clamp(-0.999_999, 0.999_999)).atanh() * 2.0; // heavy center, long tails
 
         // Sheet proximity factor in [0,1]: 1 at the sheet.
-        let prox = (-y * y / 8.0).exp();
+        let prox = (-y0 * y0 / 8.0).exp();
 
-        // Momenta: Maxwellian + beam along x near the sheet.
-        let ux = normal(i, s ^ 0x55) * p.thermal + p.beam * prox;
-        let uy = normal(i, s ^ 0x66) * p.thermal * (1.0 + prox);
-        let uz = normal(i, s ^ 0x77) * p.thermal;
+        // Momenta: Maxwellian + beam along x near the sheet, plus a
+        // slow per-particle wobble that vanishes at t = 0 so the
+        // static dump is unchanged.
+        let wob = |axis: u64| {
+            let phase = uniform01(i, s ^ axis) * 2.0 * std::f64::consts::PI;
+            0.25 * p.thermal * ((0.35 * t + phase).sin() - phase.sin())
+        };
+        let ux = normal(i, s ^ 0x55) * p.thermal + p.beam * prox + wob(0x9A);
+        let uy = normal(i, s ^ 0x66) * p.thermal * (1.0 + prox) + wob(0x9B);
+        let uz = normal(i, s ^ 0x77) * p.thermal + wob(0x9C);
         let e = 0.5 * (ux * ux + uy * uy + uz * uz);
         // Weights: quantized macro-particle weights (highly compressible).
         let w = 1.0 + (uniform01(i, s ^ 0x88) * 4.0).floor() * 0.25;
+
+        // Advect with the (base) momenta: periodic in x/z, slow y
+        // drift that preserves the sheet clustering.
+        let x = (x0 + ux * t).rem_euclid(p.box_size);
+        let z = (z0 + uz * t).rem_euclid(p.box_size);
+        let y = y0 + uy * 0.15 * t;
 
         pos_x.push(x as f32);
         pos_y.push(y as f32);

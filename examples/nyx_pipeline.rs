@@ -6,18 +6,16 @@
 //! cargo run --release --example nyx_pipeline
 //! ```
 
-use repro_suite::pfsim::BandwidthModel;
-use repro_suite::predwrite::{run_real, ExtraSpacePolicy, Method, RankFieldData, RealConfig};
-use repro_suite::ratiomodel::Models;
-use repro_suite::szlite::{Config, Dims};
-use repro_suite::workloads::{nyx, Decomposition, NyxParams};
+use bench::{demo_real_config, partition_3d};
+use repro_suite::predwrite::{run_real, Method};
+use repro_suite::workloads::{nyx, NyxParams};
 
 fn main() {
     let side = 48;
     let nranks = 8;
     let ds = nyx::snapshot(NyxParams::with_side(side));
-    let dec = Decomposition::new(nranks, [side, side, side]);
-    let bd = dec.block;
+    let data = partition_3d(&ds, nranks);
+    let bd = data[0][0].dims.extents().to_vec();
     println!(
         "Nyx {side}^3, {} fields, {} ranks, {}x{}x{} block per rank",
         ds.fields.len(),
@@ -27,19 +25,6 @@ fn main() {
         bd[2]
     );
 
-    let data: Vec<Vec<RankFieldData>> = (0..nranks)
-        .map(|r| {
-            ds.fields
-                .iter()
-                .map(|f| RankFieldData {
-                    name: f.name.clone(),
-                    data: dec.extract(f, r),
-                    dims: Dims::d3(bd[0], bd[1], bd[2]),
-                })
-                .collect()
-        })
-        .collect();
-
     println!(
         "\n{:<18} {:>9} {:>10} {:>10} {:>9}",
         "method", "total", "compress", "write", "ratio"
@@ -47,17 +32,9 @@ fn main() {
     let mut results = Vec::new();
     for method in Method::ALL {
         let path = std::env::temp_dir().join(format!("nyx-pipeline-{}.h5l", method.label()));
-        let cfg = RealConfig {
-            method,
-            configs: vec![Config::rel(1e-3); ds.fields.len()],
-            models: Models::with_cthr(20e6),
-            policy: ExtraSpacePolicy::default(),
-            bandwidth: BandwidthModel::tiny_for_tests(),
-            throttle_scale: 0.01, // 4 MB/s aggregate: I/O-bound like a busy PFS
-            sz_threads: 0,        // honor SZ_THREADS, default serial
-            verify: false,        // timing comparison only; see vpic_particles
-            path: path.clone(),
-        };
+        // 4 MB/s aggregate (scale 0.01): I/O-bound like a busy PFS.
+        // Timing comparison only, so no verify; see vpic_particles.
+        let cfg = demo_real_config(method, ds.fields.len(), 0.01, false, path.clone());
         let res = run_real(&data, &cfg).expect("run failed");
         println!(
             "{:<18} {:>8.2}s {:>9.2}s {:>9.2}s {:>8.1}x",

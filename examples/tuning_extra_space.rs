@@ -6,14 +6,15 @@
 //! cargo run --release --example tuning_extra_space [weight]
 //! ```
 
+use bench::partition_3d;
 use repro_suite::pfsim::BandwidthModel;
 use repro_suite::predwrite::{
     profile_partition, replicate_profiles, simulate_method, weight_to_rspace, ExtraSpacePolicy,
     Method, SimParams,
 };
 use repro_suite::ratiomodel::Models;
-use repro_suite::szlite::{Config, Dims};
-use repro_suite::workloads::{nyx, Decomposition, NyxParams};
+use repro_suite::szlite::Config;
+use repro_suite::workloads::{nyx, NyxParams};
 
 fn main() {
     let weight: f64 = std::env::args()
@@ -28,16 +29,13 @@ fn main() {
     let bw = BandwidthModel::summit();
     let models = Models::with_cthr(bw.stable_cthr(nranks));
     let ds = nyx::snapshot(NyxParams::with_side(side));
-    let dec = Decomposition::new(measured, [side, side, side]);
-    let bd = dec.block;
-    let dims = Dims::d3(bd[0], bd[1], bd[2]);
-    let base: Vec<Vec<_>> = (0..measured)
-        .map(|r| {
-            ds.fields
+    let base: Vec<Vec<_>> = partition_3d(&ds, measured)
+        .iter()
+        .map(|rank_fields| {
+            rank_fields
                 .iter()
-                .map(|f| {
-                    profile_partition(&dec.extract(f, r), &dims, &Config::rel(1e-3), &models)
-                        .unwrap()
+                .map(|fd| {
+                    profile_partition(&fd.data, &fd.dims, &Config::rel(1e-3), &models).unwrap()
                 })
                 .collect()
         })

@@ -6,12 +6,10 @@
 //! cargo run --release --example vpic_particles
 //! ```
 
+use bench::{demo_real_config, partition_1d};
 use repro_suite::h5lite::H5Reader;
-use repro_suite::pfsim::BandwidthModel;
-use repro_suite::predwrite::{run_real, ExtraSpacePolicy, Method, RankFieldData, RealConfig};
-use repro_suite::ratiomodel::Models;
-use repro_suite::szlite::{Config, Dims};
-use repro_suite::workloads::{split_1d, vpic, VpicParams};
+use repro_suite::predwrite::{run_real, Method};
+use repro_suite::workloads::{vpic, VpicParams};
 
 fn main() {
     let n_particles = 1 << 16;
@@ -22,37 +20,21 @@ fn main() {
         ds.fields.len()
     );
 
-    // Equal 1-D splits per field (truncate the remainder so chunks are
-    // uniform, as the chunked layout requires).
-    let per_rank = n_particles / nranks;
-    let data: Vec<Vec<RankFieldData>> = (0..nranks)
-        .map(|r| {
-            ds.fields
-                .iter()
-                .map(|f| {
-                    let parts = split_1d(f, nranks);
-                    RankFieldData {
-                        name: f.name.clone(),
-                        data: parts[r][..per_rank].to_vec(),
-                        dims: Dims::d1(per_rank),
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    // Equal 1-D splits per field (the helper truncates the remainder
+    // so chunks are uniform, as the chunked layout requires).
+    let data = partition_1d(&ds, nranks);
+    let per_rank = data[0][0].data.len();
 
     let path = std::env::temp_dir().join("vpic-particles.h5l");
-    let cfg = RealConfig {
-        method: Method::OverlapReorder,
-        configs: vec![Config::rel(1e-3); ds.fields.len()],
-        models: Models::with_cthr(20e6),
-        policy: ExtraSpacePolicy::default(),
-        bandwidth: BandwidthModel::tiny_for_tests(),
-        throttle_scale: 0.5,
-        sz_threads: 0, // honor SZ_THREADS, default serial
-        verify: true,  // engine-level read-back check of every element
-        path: path.clone(),
-    };
+    // Balanced bandwidth (scale 0.5); engine-level read-back check of
+    // every element.
+    let cfg = demo_real_config(
+        Method::OverlapReorder,
+        ds.fields.len(),
+        0.5,
+        true,
+        path.clone(),
+    );
     let res = run_real(&data, &cfg).expect("run failed");
     println!(
         "wrote {} raw as {} compressed in {:.2}s (ratio {:.1}x, {} overflows)",

@@ -11,6 +11,8 @@
 //! * [`h5lite`] — HDF5-like container with filters and async writes
 //! * [`predwrite`] — the paper's predictive overlapped parallel write
 //! * [`workloads`] — synthetic Nyx / VPIC / RTM dataset generators
+//! * [`timeline`] — timestep-streaming checkpoint engine with online
+//!   ratio-model adaptation
 
 pub use commsim;
 pub use h5lite;
@@ -18,4 +20,5 @@ pub use pfsim;
 pub use predwrite;
 pub use ratiomodel;
 pub use szlite;
+pub use timeline;
 pub use workloads;
