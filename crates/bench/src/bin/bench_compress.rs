@@ -30,7 +30,7 @@
 //! (default `1,2,4,8`), `BENCH_REPS` (default 3), `BENCH_OUT`.
 
 use h5lite::{
-    compress_chunks, DatasetSpec, Dtype, EventSet, FilterRegistry, FilterSpec, H5File,
+    compress_chunks, BufferPool, DatasetSpec, Dtype, EventSet, FilterRegistry, FilterSpec, H5File,
     SzFilterParams, SZLITE_FILTER_ID,
 };
 use pfsim::{SharedFile, Throttle};
@@ -172,6 +172,7 @@ fn main() {
     // ---- Experiment 2: overlap with throttled async writes -----------
     // Calibrate: measure pure compression time and total stored bytes.
     let registry = FilterRegistry::default();
+    let pool = Arc::new(BufferPool::new());
     let mut stored_total = 0u64;
     let comp_secs = best_of(reps, || {
         stored_total = 0;
@@ -183,8 +184,10 @@ fn main() {
             4,
             &setup.chunk,
             1,
+            &pool,
             |_, stored, _| {
                 stored_total += stored.len() as u64;
+                pool.put(stored);
                 Ok(())
             },
         )
@@ -215,10 +218,12 @@ fn main() {
             4,
             &setup.chunk,
             1,
+            &pool,
             |_, stored, _| {
                 throttles[0].acquire(stored.len() as u64);
                 let off = file.reserve(stored.len() as u64);
                 file.write_at(off, &stored).unwrap();
+                pool.put(stored);
                 Ok(())
             },
         )
@@ -241,13 +246,15 @@ fn main() {
                 4,
                 &setup.chunk,
                 w,
+                &pool,
                 |i, stored, _| {
                     let off = file.reserve(stored.len() as u64);
-                    es.write_at(
+                    es.write_at_recycled(
                         &file,
                         off,
                         stored,
                         Some(Arc::clone(&throttles[i as usize % n_queues])),
+                        Arc::clone(&pool),
                     );
                     Ok(())
                 },

@@ -19,11 +19,10 @@
 //! ```
 //!
 //! Knobs: `BENCH_STEPS` (default 24), `BENCH_SIDE` (nyx/rtm cube side,
-//! default 32), `BENCH_PARTICLES` (default 65536 — keep per-rank
-//! partitions at ≥ ~8k points, the sampling regime the offline ratio
-//! model is designed for; far below that it under-predicts noisy
-//! fields and the static baseline degenerates into all-overflow),
-//! `BENCH_RANKS` (default 8), `BENCH_OUT`.
+//! default 32), `BENCH_PARTICLES` (default 65536; any partition size
+//! works — the ratio model samples small partitions in full, see
+//! `szlite::sampling::MIN_SAMPLE_POINTS`), `BENCH_RANKS` (default 8),
+//! `BENCH_OUT`.
 
 use bench::partition_stream_step;
 use predwrite::RankFieldData;

@@ -1,0 +1,50 @@
+//! Byte-identity of the fused single-pass compressor against the
+//! scalar reference pipeline on real workload data.
+//!
+//! `szlite::compress_into` fuses Lorenzo prediction, quantization and
+//! Huffman frequency counting into one branch-free pass; the unit
+//! suite pins it against `compress_reference` on synthetic inputs.
+//! These tests close the remaining gap: every field of each paper
+//! workload (Nyx, VPIC, RTM), at both a loose and a tight bound, with
+//! one `Scratch` reused across all of them — the exact usage pattern
+//! of the streaming pipeline.
+
+use szlite::{compress_into, compress_reference, Config, Dims, Scratch};
+use workloads::{nyx, rtm, vpic, Dataset, NyxParams, RtmParams, VpicParams};
+
+fn assert_identical(ds: &Dataset, scratch: &mut Scratch) {
+    for field in &ds.fields {
+        let dims = Dims::from_slice(&field.dims).unwrap();
+        for cfg in [Config::rel(1e-2), Config::rel(1e-4).with_lossless(false)] {
+            let reference = compress_reference(&field.data, &dims, &cfg).unwrap();
+            let mut fused = Vec::new();
+            compress_into(&field.data, &dims, &cfg, scratch, &mut fused).unwrap();
+            assert_eq!(
+                fused, reference,
+                "fused stream diverged on field '{}' (dims {:?})",
+                field.name, field.dims
+            );
+        }
+    }
+}
+
+#[test]
+fn nyx_fields_byte_identical() {
+    let mut scratch = Scratch::new();
+    assert_identical(&nyx::snapshot(NyxParams::with_side(24)), &mut scratch);
+}
+
+#[test]
+fn vpic_fields_byte_identical() {
+    let mut scratch = Scratch::new();
+    assert_identical(
+        &vpic::snapshot(VpicParams::with_particles(6000)),
+        &mut scratch,
+    );
+}
+
+#[test]
+fn rtm_fields_byte_identical() {
+    let mut scratch = Scratch::new();
+    assert_identical(&rtm::snapshot(RtmParams::with_side(24)), &mut scratch);
+}

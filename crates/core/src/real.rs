@@ -19,8 +19,8 @@ use crate::plan::{fit_split, plan_overflow, PartitionPrediction, WritePlan};
 use crate::scheduler::{identity_order, optimize_order};
 use commsim::World;
 use h5lite::{
-    ordered_fanout, workers_from_env_or, AttrValue, DatasetSpec, Dtype, EventSet, FilterSpec,
-    H5File, SzFilterParams, SZLITE_FILTER_ID,
+    ordered_fanout, workers_from_env_or, AttrValue, BufferPool, DatasetSpec, Dtype, EventSet,
+    FilterSpec, H5File, SzFilterParams, SZLITE_FILTER_ID,
 };
 use pfsim::{BandwidthModel, Throttle};
 use ratiomodel::Models;
@@ -303,6 +303,12 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
     let world = World::new(nranks);
     let base = file.tail(); // after the superblock
 
+    // Stream buffers recycle through this pool across every rank and
+    // field: compression workers take, the async write queue returns
+    // after each write lands, so steady state allocates nothing per
+    // partition.
+    let pool = Arc::new(BufferPool::new());
+
     let outcomes: Vec<Result<RankOutcome, String>> = world.run(|rk| {
         let r = rk.rank();
         let run = || -> Result<RankOutcome, String> {
@@ -328,17 +334,17 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                     let plan = WritePlan::build(&sizes, &ExtraSpacePolicy::new(1.0), base);
                     let es = EventSet::from_env();
                     for f in 0..nfields {
-                        let bytes: Vec<u8> = data[r][f]
-                            .data
-                            .iter()
-                            .flat_map(|v| v.to_le_bytes())
-                            .collect();
+                        let mut bytes = pool.take();
+                        for v in &data[r][f].data {
+                            bytes.extend_from_slice(&v.to_le_bytes());
+                        }
                         let len = bytes.len() as u64;
-                        es.write_at(
+                        es.write_at_recycled(
                             file.shared_file(),
                             plan.slots[r][f].offset,
                             bytes,
                             Some(Arc::clone(&throttle)),
+                            Arc::clone(&pool),
                         );
                         file.record_chunk(
                             dataset_ids[f],
@@ -514,7 +520,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                         |scratch, pos| {
                             let f = order[pos as usize];
                             let t1 = Instant::now();
-                            let mut stream = Vec::new();
+                            let mut stream = pool.take();
                             compress_into(
                                 &data[r][f].data,
                                 &data[r][f].dims,
@@ -534,11 +540,12 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                             out.fields[f].reserved = slot.reserved;
                             let split = fit_split(stream.len() as u64, slot.reserved);
                             let tail = stream.split_off(split.in_slot as usize);
-                            es.write_at(
+                            es.write_at_recycled(
                                 file.shared_file(),
                                 slot.offset,
                                 stream,
                                 Some(Arc::clone(&throttle)),
+                                Arc::clone(&pool),
                             );
                             file.record_chunk(
                                 dataset_ids[f],
@@ -594,6 +601,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                                 },
                             )
                             .map_err(|e| e.to_string())?;
+                            pool.put(bytes);
                         }
                     }
                     rk.barrier();

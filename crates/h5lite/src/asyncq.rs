@@ -7,20 +7,20 @@
 //! on worker threads, and `wait()` blocks until everything completes.
 
 use crate::error::{H5Error, Result};
+use crate::pool::BufferPool;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use pfsim::{SharedFile, Throttle};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-enum Op {
-    Write {
-        file: SharedFile,
-        offset: u64,
-        data: Vec<u8>,
-        throttle: Option<Arc<Throttle>>,
-    },
-    Shutdown,
+struct Op {
+    file: SharedFile,
+    offset: u64,
+    data: Vec<u8>,
+    throttle: Option<Arc<Throttle>>,
+    /// Where to return `data` once written (buffer recycling).
+    recycle: Option<Arc<BufferPool>>,
 }
 
 struct Pending {
@@ -31,7 +31,10 @@ struct Pending {
 
 /// An asynchronous write queue backed by worker threads.
 pub struct EventSet {
-    tx: Sender<Op>,
+    /// `Some` until drop: closing the channel (rather than sending a
+    /// poison message) is the shutdown signal, so workers drain every
+    /// queued write before exiting regardless of delivery order.
+    tx: Option<Sender<Op>>,
     pending: Arc<Pending>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -52,33 +55,33 @@ impl EventSet {
                 let pending = Arc::clone(&pending);
                 std::thread::spawn(move || {
                     while let Ok(op) = rx.recv() {
-                        match op {
-                            Op::Shutdown => break,
-                            Op::Write {
-                                file,
-                                offset,
-                                data,
-                                throttle,
-                            } => {
-                                if let Some(t) = &throttle {
-                                    t.acquire(data.len() as u64);
-                                }
-                                if let Err(e) = file.write_at(offset, &data) {
-                                    pending.errors.lock().push(e.to_string());
-                                }
-                                let mut c = pending.count.lock();
-                                *c -= 1;
-                                if *c == 0 {
-                                    pending.cv.notify_all();
-                                }
-                            }
+                        let Op {
+                            file,
+                            offset,
+                            data,
+                            throttle,
+                            recycle,
+                        } = op;
+                        if let Some(t) = &throttle {
+                            t.acquire(data.len() as u64);
+                        }
+                        if let Err(e) = file.write_at(offset, &data) {
+                            pending.errors.lock().push(e.to_string());
+                        }
+                        if let Some(pool) = recycle {
+                            pool.put(data);
+                        }
+                        let mut c = pending.count.lock();
+                        *c -= 1;
+                        if *c == 0 {
+                            pending.cv.notify_all();
                         }
                     }
                 })
             })
             .collect();
         EventSet {
-            tx,
+            tx: Some(tx),
             pending,
             workers,
         }
@@ -105,13 +108,42 @@ impl EventSet {
         data: Vec<u8>,
         throttle: Option<Arc<Throttle>>,
     ) {
+        self.enqueue(file, offset, data, throttle, None);
+    }
+
+    /// Like [`EventSet::write_at`], but once the write completes the
+    /// buffer is returned to `pool` instead of dropped — callers taking
+    /// their buffers from the same pool stream without per-chunk
+    /// allocation.
+    pub fn write_at_recycled(
+        &self,
+        file: &SharedFile,
+        offset: u64,
+        data: Vec<u8>,
+        throttle: Option<Arc<Throttle>>,
+        pool: Arc<BufferPool>,
+    ) {
+        self.enqueue(file, offset, data, throttle, Some(pool));
+    }
+
+    fn enqueue(
+        &self,
+        file: &SharedFile,
+        offset: u64,
+        data: Vec<u8>,
+        throttle: Option<Arc<Throttle>>,
+        recycle: Option<Arc<BufferPool>>,
+    ) {
         *self.pending.count.lock() += 1;
         self.tx
-            .send(Op::Write {
+            .as_ref()
+            .expect("event set shut down")
+            .send(Op {
                 file: file.clone(),
                 offset,
                 data,
                 throttle,
+                recycle,
             })
             .expect("event set workers gone");
     }
@@ -142,9 +174,10 @@ impl EventSet {
 
 impl Drop for EventSet {
     fn drop(&mut self) {
-        for _ in &self.workers {
-            let _ = self.tx.send(Op::Shutdown);
-        }
+        // Closing the channel lets every worker drain remaining writes
+        // and observe disconnection — no sentinel message that could
+        // overtake queued work.
+        drop(self.tx.take());
         for w in self.workers.drain(..) {
             let _ = w.join();
         }

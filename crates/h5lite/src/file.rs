@@ -14,6 +14,7 @@ use crate::meta::{
     deserialize_table, serialize_table, AttrValue, ChunkInfo, DatasetMeta, Dtype, FilterSpec,
 };
 use crate::pipeline::{compress_chunks, ordered_fanout};
+use crate::pool::BufferPool;
 use parking_lot::Mutex;
 use pfsim::{SharedFile, Throttle};
 use std::path::Path;
@@ -77,6 +78,9 @@ struct Inner {
     datasets: Mutex<Vec<DatasetMeta>>,
     registry: FilterRegistry,
     closed: AtomicBool,
+    /// Recycles stored-chunk buffers between the compression pipeline
+    /// and the async write queue, across every dataset of the file.
+    pool: Arc<BufferPool>,
 }
 
 /// Writable h5lite container (clone-shareable across rank threads).
@@ -97,6 +101,7 @@ impl H5File {
                 datasets: Mutex::new(Vec::new()),
                 registry: FilterRegistry::default(),
                 closed: AtomicBool::new(false),
+                pool: Arc::new(BufferPool::new()),
             }),
         })
     }
@@ -114,6 +119,7 @@ impl H5File {
                 datasets: Mutex::new(Vec::new()),
                 registry: FilterRegistry::default(),
                 closed: AtomicBool::new(false),
+                pool: Arc::new(BufferPool::new()),
             }),
         })
     }
@@ -199,43 +205,58 @@ impl H5File {
             });
         }
         let mut scratch = FilterScratch::new();
-        match chunk_dims {
-            None => {
-                let stored = self.inner.registry.apply(&filters, data, &mut scratch)?;
-                let offset = self.inner.file.reserve(stored.len() as u64);
-                self.inner.file.write_at(offset, &stored)?;
-                self.record_chunk(
-                    id,
-                    ChunkInfo {
-                        index: 0,
-                        offset,
-                        stored: stored.len() as u64,
-                        raw: data.len() as u64,
-                    },
-                )?;
-            }
-            Some(cd) => {
-                let n_chunks: u64 = dims.iter().zip(&cd).map(|(&d, &c)| d.div_ceil(c)).product();
-                let mut tile = Vec::new();
-                for c in 0..n_chunks {
-                    gather_tile_into(data, &dims, elem, &cd, c, &mut tile)?;
-                    let raw = tile.len() as u64;
-                    let stored = self.inner.registry.apply(&filters, &tile, &mut scratch)?;
+        let mut stored = self.inner.pool.take();
+        let res = (|| {
+            match chunk_dims {
+                None => {
+                    self.inner
+                        .registry
+                        .apply_into(&filters, data, &mut scratch, &mut stored)?;
                     let offset = self.inner.file.reserve(stored.len() as u64);
                     self.inner.file.write_at(offset, &stored)?;
                     self.record_chunk(
                         id,
                         ChunkInfo {
-                            index: c,
+                            index: 0,
                             offset,
                             stored: stored.len() as u64,
-                            raw,
+                            raw: data.len() as u64,
                         },
                     )?;
                 }
+                Some(cd) => {
+                    let n_chunks: u64 =
+                        dims.iter().zip(&cd).map(|(&d, &c)| d.div_ceil(c)).product();
+                    let mut tile = Vec::new();
+                    // The one stored buffer cycles through every chunk:
+                    // the serial path allocates nothing per chunk.
+                    for c in 0..n_chunks {
+                        gather_tile_into(data, &dims, elem, &cd, c, &mut tile)?;
+                        let raw = tile.len() as u64;
+                        self.inner.registry.apply_into(
+                            &filters,
+                            &tile,
+                            &mut scratch,
+                            &mut stored,
+                        )?;
+                        let offset = self.inner.file.reserve(stored.len() as u64);
+                        self.inner.file.write_at(offset, &stored)?;
+                        self.record_chunk(
+                            id,
+                            ChunkInfo {
+                                index: c,
+                                offset,
+                                stored: stored.len() as u64,
+                                raw,
+                            },
+                        )?;
+                    }
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })();
+        self.inner.pool.put(stored);
+        res
     }
 
     /// Write a full dataset through the parallel compression pipeline:
@@ -281,10 +302,17 @@ impl H5File {
             elem,
             &cd,
             workers,
+            &self.inner.pool,
             |c, stored, raw| {
                 let len = stored.len() as u64;
                 let offset = self.inner.file.reserve(len);
-                events.write_at(&self.inner.file, offset, stored, throttle.clone());
+                events.write_at_recycled(
+                    &self.inner.file,
+                    offset,
+                    stored,
+                    throttle.clone(),
+                    Arc::clone(&self.inner.pool),
+                );
                 self.record_chunk(
                     id,
                     ChunkInfo {
@@ -376,6 +404,9 @@ pub struct H5Reader {
     file: SharedFile,
     datasets: Vec<DatasetMeta>,
     registry: FilterRegistry,
+    /// Recycles decoded-tile buffers between the reader worker pool
+    /// and the reassembly sink, across every read of the file.
+    pool: BufferPool,
 }
 
 impl H5Reader {
@@ -406,6 +437,7 @@ impl H5Reader {
             file,
             datasets,
             registry: FilterRegistry::default(),
+            pool: BufferPool::new(),
         })
     }
 
@@ -466,10 +498,12 @@ impl H5Reader {
         let d = self.meta(name)?;
         let elem = d.dtype.size();
         let mut out = vec![0u8; d.raw_bytes() as usize];
-        // The serial path reuses one scratch and one stored-bytes
-        // buffer across all chunks, mirroring `write_full`.
+        // The serial path reuses one scratch plus one stored-bytes and
+        // one decoded-tile buffer across all chunks, mirroring
+        // `write_full`: nothing is allocated per chunk.
         let mut scratch = FilterScratch::new();
         let mut stored = Vec::new();
+        let mut raw = self.pool.take();
         // Contiguous datasets decode as a single tile spanning the
         // extents (scatter with chunk = dims is the identity).
         let cd = d.chunk_dims.clone().unwrap_or_else(|| d.dims.clone());
@@ -480,10 +514,12 @@ impl H5Reader {
             if d.filters.is_empty() {
                 scatter_tile(&mut out, &d.dims, elem, &cd, index, &stored)?;
             } else {
-                let raw = self.registry.invert(&d.filters, &stored, &mut scratch)?;
+                self.registry
+                    .invert_into(&d.filters, &stored, &mut scratch, &mut raw)?;
                 scatter_tile(&mut out, &d.dims, elem, &cd, index, &raw)?;
             }
         }
+        self.pool.put(raw);
         Ok(out)
     }
 
@@ -508,16 +544,24 @@ impl H5Reader {
                 let (_, segments) = &chunks[i as usize];
                 self.read_segments(segments, stored)?;
                 if d.filters.is_empty() {
-                    // The sink needs an owned tile; moving the read
-                    // buffer out beats copying it through `invert`.
-                    Ok(std::mem::take(stored))
+                    // The sink needs an owned tile; swapping the read
+                    // buffer with a pooled one moves it out without a
+                    // copy or a fresh allocation.
+                    let mut tile = self.pool.take();
+                    std::mem::swap(stored, &mut tile);
+                    Ok(tile)
                 } else {
-                    self.registry.invert(&d.filters, stored, scratch)
+                    let mut tile = self.pool.take();
+                    self.registry
+                        .invert_into(&d.filters, stored, scratch, &mut tile)?;
+                    Ok(tile)
                 }
             },
             |i, raw| {
                 let (index, _) = chunks[i as usize];
-                scatter_tile(&mut out, &d.dims, elem, &cd, index, &raw)
+                let res = scatter_tile(&mut out, &d.dims, elem, &cd, index, &raw);
+                self.pool.put(raw);
+                res
             },
         )?;
         Ok(out)

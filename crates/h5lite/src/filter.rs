@@ -316,81 +316,118 @@ impl FilterRegistry {
         self.filters.get(&id).ok_or(H5Error::UnknownFilter(id))
     }
 
-    /// Apply a pipeline in declaration order (write path).
+    /// Run a pipeline chain, ping-ponging between `out` and the
+    /// scratch stage buffer so the final stage always lands in `out`
+    /// and nothing is allocated.
+    fn run_chain<'a, I>(
+        &self,
+        stages: I,
+        n: usize,
+        data: &[u8],
+        scratch: &mut FilterScratch,
+        out: &mut Vec<u8>,
+        forward: bool,
+    ) -> Result<()>
+    where
+        I: Iterator<Item = &'a FilterSpec>,
+    {
+        // The stage buffer lives outside `scratch` for the duration so
+        // the codec can borrow `scratch` mutably alongside it.
+        let mut stage = std::mem::take(&mut scratch.stage);
+        // Parity: with an odd stage count the first output already
+        // goes to `out`, so the alternation ends there.
+        let mut into_out = n % 2 == 1;
+        let mut first = true;
+        let mut res = Ok(());
+        for s in stages {
+            let (dst, src): (&mut Vec<u8>, &[u8]) = if into_out {
+                (&mut *out, if first { data } else { &stage })
+            } else {
+                (&mut stage, if first { data } else { out })
+            };
+            dst.clear();
+            res = self.get(s.id).and_then(|f| {
+                if forward {
+                    f.encode(src, &s.params, dst, scratch)
+                } else {
+                    f.decode(src, &s.params, dst, scratch)
+                }
+            });
+            if res.is_err() {
+                break;
+            }
+            into_out = !into_out;
+            first = false;
+        }
+        scratch.stage = stage;
+        res
+    }
+
+    /// Apply a pipeline in declaration order (write path), appending
+    /// the final stage's output to `out` (cleared first).
     ///
     /// The input is borrowed and `scratch` supplies every intermediate
-    /// buffer; the returned vector is the only allocation that escapes
-    /// (it is handed to the async write queue, which needs ownership).
+    /// buffer, so a caller recycling `out` (e.g. through a
+    /// [`BufferPool`](crate::BufferPool)) runs the whole chain without
+    /// allocating.
+    pub fn apply_into(
+        &self,
+        specs: &[FilterSpec],
+        data: &[u8],
+        scratch: &mut FilterScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        out.clear();
+        if specs.is_empty() {
+            out.extend_from_slice(data);
+            return Ok(());
+        }
+        self.run_chain(specs.iter(), specs.len(), data, scratch, out, true)
+    }
+
+    /// Apply a pipeline in declaration order, returning an owned
+    /// buffer. Allocating convenience over
+    /// [`FilterRegistry::apply_into`].
     pub fn apply(
         &self,
         specs: &[FilterSpec],
         data: &[u8],
         scratch: &mut FilterScratch,
     ) -> Result<Vec<u8>> {
-        let mut cur = Vec::new();
-        if specs.is_empty() {
-            cur.extend_from_slice(data);
-            return Ok(cur);
-        }
-        let mut prev = std::mem::take(&mut scratch.stage);
-        prev.clear();
-        let mut first = true;
-        for s in specs {
-            cur.clear();
-            let input: &[u8] = if first { data } else { &prev };
-            let res = self
-                .get(s.id)
-                .and_then(|f| f.encode(input, &s.params, &mut cur, scratch));
-            if let Err(e) = res {
-                scratch.stage = prev;
-                return Err(e);
-            }
-            std::mem::swap(&mut prev, &mut cur);
-            first = false;
-        }
-        // `prev` holds the final stage's output; recycle the other
-        // buffer for the next call.
-        scratch.stage = cur;
-        Ok(prev)
+        let mut out = Vec::new();
+        self.apply_into(specs, data, scratch, &mut out)?;
+        Ok(out)
     }
 
-    /// Invert a pipeline in reverse order (read path).
-    ///
-    /// The mirror image of [`FilterRegistry::apply`]: the input is
-    /// borrowed, `scratch` supplies every intermediate buffer, and the
-    /// returned vector is the only allocation that escapes (it is
-    /// handed to the tile scatter, which may outlive the scratch).
+    /// Invert a pipeline in reverse order (read path), appending the
+    /// de-filtered bytes to `out` (cleared first) — the mirror image of
+    /// [`FilterRegistry::apply_into`].
+    pub fn invert_into(
+        &self,
+        specs: &[FilterSpec],
+        data: &[u8],
+        scratch: &mut FilterScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        out.clear();
+        if specs.is_empty() {
+            out.extend_from_slice(data);
+            return Ok(());
+        }
+        self.run_chain(specs.iter().rev(), specs.len(), data, scratch, out, false)
+    }
+
+    /// Invert a pipeline in reverse order, returning an owned buffer.
+    /// Allocating convenience over [`FilterRegistry::invert_into`].
     pub fn invert(
         &self,
         specs: &[FilterSpec],
         data: &[u8],
         scratch: &mut FilterScratch,
     ) -> Result<Vec<u8>> {
-        let mut cur = Vec::new();
-        if specs.is_empty() {
-            cur.extend_from_slice(data);
-            return Ok(cur);
-        }
-        let mut prev = std::mem::take(&mut scratch.stage);
-        prev.clear();
-        let mut first = true;
-        for s in specs.iter().rev() {
-            cur.clear();
-            let input: &[u8] = if first { data } else { &prev };
-            let res = self
-                .get(s.id)
-                .and_then(|f| f.decode(input, &s.params, &mut cur, scratch));
-            if let Err(e) = res {
-                scratch.stage = prev;
-                return Err(e);
-            }
-            std::mem::swap(&mut prev, &mut cur);
-            first = false;
-        }
-        // `prev` holds the final stage's output; recycle the other
-        // buffer for the next call.
-        scratch.stage = cur;
-        Ok(prev)
+        let mut out = Vec::new();
+        self.invert_into(specs, data, scratch, &mut out)?;
+        Ok(out)
     }
 }
 

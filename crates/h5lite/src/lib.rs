@@ -33,6 +33,7 @@ pub mod file;
 pub mod filter;
 pub mod meta;
 pub mod pipeline;
+pub mod pool;
 
 pub use asyncq::EventSet;
 pub use error::{H5Error, Result};
@@ -43,3 +44,4 @@ pub use filter::{
 };
 pub use meta::{AttrValue, ChunkInfo, DatasetMeta, Dtype, FilterSpec};
 pub use pipeline::{compress_chunks, ordered_fanout, workers_from_env, workers_from_env_or};
+pub use pool::BufferPool;

@@ -30,6 +30,7 @@ use crate::chunk::gather_tile_into;
 use crate::error::{H5Error, Result};
 use crate::filter::{FilterRegistry, FilterScratch};
 use crate::meta::FilterSpec;
+use crate::pool::BufferPool;
 use crossbeam::channel::unbounded;
 use std::collections::BTreeMap;
 
@@ -138,6 +139,11 @@ where
 /// order. Each worker gathers its own tiles from the shared `data`
 /// buffer (no per-chunk input copies on the caller side) and reuses
 /// one [`FilterScratch`] plus one tile buffer across all its chunks.
+///
+/// Stored-chunk buffers are taken from `pool`; the sink keeps
+/// ownership and should return them there once consumed (e.g. via
+/// [`EventSet::write_at_recycled`](crate::EventSet::write_at_recycled)),
+/// after which steady-state streaming allocates nothing per chunk.
 #[allow(clippy::too_many_arguments)]
 pub fn compress_chunks<S>(
     registry: &FilterRegistry,
@@ -147,6 +153,7 @@ pub fn compress_chunks<S>(
     elem: usize,
     chunk_dims: &[u64],
     workers: usize,
+    pool: &BufferPool,
     mut sink: S,
 ) -> Result<()>
 where
@@ -166,7 +173,8 @@ where
         || (FilterScratch::new(), Vec::new()),
         |(scratch, tile): &mut (FilterScratch, Vec<u8>), c| {
             gather_tile_into(data, dims, elem, chunk_dims, c, tile)?;
-            let stored = registry.apply(filters, tile, scratch)?;
+            let mut stored = pool.take();
+            registry.apply_into(filters, tile, scratch, &mut stored)?;
             Ok((stored, tile.len() as u64))
         },
         |c, (stored, raw)| sink(c, stored, raw),

@@ -44,6 +44,13 @@ pub struct Models {
     pub gain: LosslessGain,
     /// Fraction of blocks sampled by the ratio prediction (≈ 0.05
     /// keeps the overhead below 10 % of compression time, as in \[25\]).
+    ///
+    /// The sampler floors the effective fraction so at least
+    /// [`szlite::sampling::MIN_SAMPLE_POINTS`] points are covered:
+    /// partitions at or below that size are sampled in full. Without
+    /// the floor, a 5 % sample of a few-thousand-point noisy partition
+    /// misses the residual tail and the model under-predicts
+    /// compressed size, turning every write into an overflow.
     pub sample_fraction: f64,
 }
 

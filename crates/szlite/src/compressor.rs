@@ -1,10 +1,20 @@
 //! The compression pipeline: Lorenzo prediction → error-bounded
 //! quantization → canonical Huffman → LZSS.
+//!
+//! The hot path is a fused row kernel: one pass over the data performs
+//! prediction, quantization *and* Huffman frequency counting, with the
+//! boundary branches of the Lorenzo stencil replaced by reads from a
+//! zero row so the inner loop is uniform over `x`. Each pipeline worker
+//! carries its own [`Scratch`] — frequency counts are accumulated
+//! per-worker and merged into the Huffman build in a single sparse
+//! rebuild, so no stage shares mutable state across workers. The
+//! produced stream is byte-identical to the scalar reference
+//! implementation ([`compress_reference`]) on every input.
 
 use crate::config::{Config, Dims};
 use crate::element::Element;
 use crate::error::{Result, SzError};
-use crate::huffman::HuffmanEncoder;
+use crate::huffman::{EncoderWorkspace, HuffmanEncoder};
 use crate::lossless;
 use crate::predictor::Lorenzo;
 use crate::quantizer::{Quantizer, UNPREDICTABLE};
@@ -49,21 +59,33 @@ impl CompressStats {
 
 /// Reusable compressor workspace: quantization codes, literal bytes,
 /// the reconstruction grid, Huffman frequency counts, the serialized
-/// payload and the bit-stream backing buffer.
+/// payload, the bit-stream backing buffer and the LZSS matcher state.
 ///
 /// The per-chunk hot path allocates all of this state afresh when
 /// going through [`compress_with_stats`]; a worker that compresses
 /// many chunks keeps one `Scratch` and calls [`compress_into`] so the
-/// buffers are recycled. The scratch never changes the produced
+/// buffers are recycled — steady-state compression then performs no
+/// per-chunk allocation at all. The scratch never changes the produced
 /// stream — output is byte-identical either way.
 #[derive(Debug, Default)]
 pub struct Scratch {
     codes: Vec<u32>,
     literals: Vec<u8>,
     recon: Vec<f64>,
+    /// Frequency histogram over the full alphabet. Invariant: all-zero
+    /// between calls — entries touched by a run are re-zeroed through
+    /// `present` on the way out, so the (large) array is never memset.
     freqs: Vec<u64>,
+    /// Symbols observed by the current run, unsorted until the Huffman
+    /// build.
+    present: Vec<u32>,
     payload: Vec<u8>,
     bits: Vec<u8>,
+    zero_row: Vec<f64>,
+    enc: HuffmanEncoder,
+    enc_ws: EncoderWorkspace,
+    lz: lossless::LzScratch,
+    lz_out: Vec<u8>,
 }
 
 impl Scratch {
@@ -88,6 +110,99 @@ pub fn compress_with_stats<T: Element>(
     let mut out = Vec::new();
     let stats = compress_into(data, dims, cfg, &mut scratch, &mut out)?;
     Ok((out, stats))
+}
+
+/// Fused prediction + quantization + frequency-count kernel over one
+/// grid row.
+///
+/// `cur` is the reconstruction row being produced; `py`, `pz`, `pzy`
+/// are the neighbor rows at `y-1`, `z-1` and `(z-1, y-1)` — the caller
+/// substitutes an all-zero row for rows outside the grid, which makes
+/// the Lorenzo stencil uniform over the whole row (adding `+0.0` for an
+/// absent neighbor is bit-exact because the accumulator can never be
+/// `-0.0` mid-chain: it starts at `+0.0` and IEEE-754 round-to-nearest
+/// only yields `-0.0` from sums of two negative zeros).
+///
+/// The loop carries `x-1` neighbors in registers, keeps the residual →
+/// code mapping branch-free (validity folds into one predicate; the
+/// code/reconstruction writes are select-based), and escapes to the
+/// literal lane only on the rare unpredictable point. The floating
+/// operation order matches [`compress_reference`] exactly — division by
+/// `2·eb` stays a division, the stencil accumulates in the fixed
+/// `+x +y +z −xy −xz −yz +xyz` order — so emitted codes, literals and
+/// reconstructions are bit-identical.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn quantize_row<T: Element>(
+    data: &[T],
+    cur: &mut [f64],
+    py: &[f64],
+    pz: &[f64],
+    pzy: &[f64],
+    eb: f64,
+    twice_eb: f64,
+    radius: i64,
+    codes: &mut [u32],
+    literals: &mut Vec<u8>,
+    freqs: &mut [u64],
+    present: &mut Vec<u32>,
+    n_unpred: &mut usize,
+) {
+    let nx = data.len();
+    debug_assert!(cur.len() == nx && py.len() >= nx && pz.len() >= nx && pzy.len() >= nx);
+    debug_assert!(codes.len() == nx);
+    let radius_f = radius as f64;
+    // Running x-1 neighbors: current row, y-1 row, z-1 row, corner.
+    let mut cx = 0.0f64;
+    let mut pyx = 0.0f64;
+    let mut pzx = 0.0f64;
+    let mut pzyx = 0.0f64;
+    for x in 0..nx {
+        let ry = py[x];
+        let rz = pz[x];
+        let rzy = pzy[x];
+        let pred = ((((((0.0 + cx) + ry) + rz) - pyx) - pzx) - rzy) + pzyx;
+        let xv = data[x].to_f64();
+        let d = xv - pred;
+        let q = (d / twice_eb).round();
+        // Branch-free validity: all comparisons are false on NaN, so a
+        // non-finite value or prediction lands in the escape lane.
+        let in_range = q.is_finite() & (q.abs() < radius_f);
+        let qi = if in_range { q as i64 } else { 0 };
+        let r64 = pred + qi as f64 * twice_eb;
+        // Round through the storage type so the decoder (which emits T)
+        // sees exactly this value.
+        let rt = T::from_f64(r64).to_f64();
+        let ok = in_range & ((xv - r64).abs() <= eb) & ((xv - rt).abs() <= eb);
+        let code = if ok {
+            (qi + radius) as u32
+        } else {
+            UNPREDICTABLE
+        };
+        let rv = if ok {
+            rt
+        } else if xv.is_finite() {
+            xv
+        } else {
+            0.0
+        };
+        codes[x] = code;
+        cur[x] = rv;
+        let f = freqs[code as usize];
+        if f == 0 {
+            present.push(code);
+        }
+        freqs[code as usize] = f + 1;
+        if !ok {
+            // Rare unpredictable-escape lane.
+            data[x].write_le(literals);
+            *n_unpred += 1;
+        }
+        cx = rv;
+        pyx = ry;
+        pzx = rz;
+        pzyx = rzy;
+    }
 }
 
 /// Compress `data`, writing the stream into `out` (cleared first) and
@@ -118,6 +233,8 @@ pub fn compress_into<T: Element>(
     let quant = Quantizer::new(eb, cfg.radius);
     let lorenzo = Lorenzo::new(dims);
     let st = *lorenzo.strides();
+    let (nz, ny, nx) = (st.ext[0], st.ext[1], st.ext[2]);
+    let plane = ny * nx;
 
     let n = data.len();
     let Scratch {
@@ -125,53 +242,73 @@ pub fn compress_into<T: Element>(
         literals,
         recon,
         freqs,
+        present,
         payload,
         bits,
+        zero_row,
+        enc,
+        enc_ws,
+        lz,
+        lz_out,
     } = scratch;
     codes.clear();
-    codes.reserve(n);
+    codes.resize(n, 0);
     literals.clear();
     recon.clear();
     recon.resize(n, 0.0);
+    zero_row.clear();
+    zero_row.resize(nx, 0.0);
+    let alphabet = quant.alphabet();
+    if freqs.len() < alphabet {
+        freqs.resize(alphabet, 0);
+    }
+    present.clear();
     let mut n_unpred = 0usize;
 
-    let mut idx = 0usize;
-    for z in 0..st.ext[0] {
-        for y in 0..st.ext[1] {
-            for x in 0..st.ext[2] {
-                let xv = data[idx].to_f64();
-                let pred = lorenzo.predict(recon, z, y, x);
-                let mut stored = false;
-                if xv.is_finite() {
-                    if let Some((code, r64)) = quant.quantize(xv, pred) {
-                        // Round through the storage type so the decoder
-                        // (which emits T) sees exactly this value.
-                        let rt = T::from_f64(r64).to_f64();
-                        if (xv - rt).abs() <= eb {
-                            codes.push(code);
-                            recon[idx] = rt;
-                            stored = true;
-                        }
-                    }
-                }
-                if !stored {
-                    codes.push(UNPREDICTABLE);
-                    data[idx].write_le(literals);
-                    recon[idx] = if xv.is_finite() { xv } else { 0.0 };
-                    n_unpred += 1;
-                }
-                idx += 1;
-            }
+    let radius = i64::from(cfg.radius.max(2));
+    let twice_eb = 2.0 * eb;
+    for z in 0..nz {
+        for y in 0..ny {
+            let base = z * plane + y * nx;
+            let (head, tail) = recon.split_at_mut(base);
+            let cur = &mut tail[..nx];
+            let py: &[f64] = if y > 0 {
+                &head[base - nx..base]
+            } else {
+                zero_row
+            };
+            let pz: &[f64] = if z > 0 {
+                &head[base - plane..base - plane + nx]
+            } else {
+                zero_row
+            };
+            let pzy: &[f64] = if z > 0 && y > 0 {
+                &head[base - plane - nx..base - plane]
+            } else {
+                zero_row
+            };
+            quantize_row(
+                &data[base..base + nx],
+                cur,
+                py,
+                pz,
+                pzy,
+                eb,
+                twice_eb,
+                radius,
+                &mut codes[base..base + nx],
+                literals,
+                &mut freqs[..alphabet],
+                present,
+                &mut n_unpred,
+            );
         }
     }
 
-    // Huffman stage.
-    freqs.clear();
-    freqs.resize(quant.alphabet(), 0);
-    for &c in codes.iter() {
-        freqs[c as usize] += 1;
-    }
-    let enc = HuffmanEncoder::from_freqs(freqs);
+    // Huffman stage: the per-worker frequency counts fused into the
+    // pass above merge into one sparse in-place table rebuild.
+    present.sort_unstable();
+    enc.rebuild_sparse(alphabet, &freqs[..alphabet], present, enc_ws);
     payload.clear();
     enc.serialize(payload);
     let table_bytes = payload.len();
@@ -187,11 +324,16 @@ pub fn compress_into<T: Element>(
     put_varint(payload, n_unpred as u64);
     payload.extend_from_slice(literals);
 
+    // Restore the all-zero freqs invariant without touching the
+    // alphabet-sized array.
+    for &s in present.iter() {
+        freqs[s as usize] = 0;
+    }
+
     // Lossless stage.
-    let lz;
     let (mode, body): (u8, &[u8]) = if cfg.lossless {
-        lz = lossless::compress(payload);
-        (1u8, &lz)
+        lossless::compress_into(payload, lz_out, lz);
+        (1u8, lz_out)
     } else {
         (0u8, payload)
     };
@@ -221,6 +363,109 @@ pub fn compress_into<T: Element>(
         eb,
     };
     Ok(stats)
+}
+
+/// Scalar reference implementation of the compressor: per-point
+/// [`Lorenzo::predict`] with its boundary branches, [`Quantizer`]
+/// returning `Option`, a separate frequency-count pass and a dense
+/// [`HuffmanEncoder::from_freqs`] build.
+///
+/// This is the original (pre-fusion) pipeline, kept as the oracle for
+/// the byte-identity test suite: [`compress_into`] must produce exactly
+/// these bytes on every input. It is not a hot path — it allocates per
+/// call and makes three data passes.
+pub fn compress_reference<T: Element>(data: &[T], dims: &Dims, cfg: &Config) -> Result<Vec<u8>> {
+    if data.is_empty() {
+        return Err(SzError::EmptyInput);
+    }
+    if dims.len() != data.len() {
+        return Err(SzError::DimMismatch {
+            expected: dims.len(),
+            actual: data.len(),
+        });
+    }
+    let eb = cfg.error_bound.resolve_for(data)?;
+    let quant = Quantizer::new(eb, cfg.radius);
+    let lorenzo = Lorenzo::new(dims);
+    let st = *lorenzo.strides();
+
+    let n = data.len();
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    let mut literals: Vec<u8> = Vec::new();
+    let mut recon = vec![0.0f64; n];
+    let mut n_unpred = 0usize;
+
+    let mut idx = 0usize;
+    for z in 0..st.ext[0] {
+        for y in 0..st.ext[1] {
+            for x in 0..st.ext[2] {
+                let xv = data[idx].to_f64();
+                let pred = lorenzo.predict(&recon, z, y, x);
+                let mut stored = false;
+                if xv.is_finite() {
+                    if let Some((code, r64)) = quant.quantize(xv, pred) {
+                        // Round through the storage type so the decoder
+                        // (which emits T) sees exactly this value.
+                        let rt = T::from_f64(r64).to_f64();
+                        if (xv - rt).abs() <= eb {
+                            codes.push(code);
+                            recon[idx] = rt;
+                            stored = true;
+                        }
+                    }
+                }
+                if !stored {
+                    codes.push(UNPREDICTABLE);
+                    data[idx].write_le(&mut literals);
+                    recon[idx] = if xv.is_finite() { xv } else { 0.0 };
+                    n_unpred += 1;
+                }
+                idx += 1;
+            }
+        }
+    }
+
+    // Huffman stage.
+    let mut freqs = vec![0u64; quant.alphabet()];
+    for &c in codes.iter() {
+        freqs[c as usize] += 1;
+    }
+    let enc = HuffmanEncoder::from_freqs(&freqs);
+    let mut payload = Vec::new();
+    enc.serialize(&mut payload);
+    let mut bw = BitWriter::new();
+    enc.encode(&codes, &mut bw);
+    let code_bytes = bw.finish();
+    put_varint(&mut payload, codes.len() as u64);
+    put_varint(&mut payload, code_bytes.len() as u64);
+    payload.extend_from_slice(&code_bytes);
+    put_varint(&mut payload, n_unpred as u64);
+    payload.extend_from_slice(&literals);
+
+    // Lossless stage.
+    let lz;
+    let (mode, body): (u8, &[u8]) = if cfg.lossless {
+        lz = lossless::compress(&payload);
+        (1u8, &lz)
+    } else {
+        (0u8, &payload)
+    };
+
+    // Header.
+    let mut out = Vec::with_capacity(body.len() + 64);
+    put_u32(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(T::DTYPE);
+    out.push(dims.ndims() as u8);
+    for &d in dims.extents() {
+        put_varint(&mut out, d as u64);
+    }
+    put_f64(&mut out, eb);
+    put_u32(&mut out, cfg.radius);
+    out.push(mode);
+    put_varint(&mut out, body.len() as u64);
+    out.extend_from_slice(body);
+    Ok(out)
 }
 
 /// Convenience wrapper: compress an `f32` array.

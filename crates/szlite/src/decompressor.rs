@@ -124,6 +124,7 @@ pub struct DecompressScratch {
     huffman: HuffmanDecoder,
     codes: Vec<u32>,
     recon: Vec<f64>,
+    zero_row: Vec<f64>,
 }
 
 impl DecompressScratch {
@@ -162,6 +163,7 @@ pub fn decompress_into<T: Element>(
         huffman,
         codes,
         recon,
+        zero_row,
     } = scratch;
     let body = &bytes[info.payload_offset..info.payload_offset + info.payload_len];
     let payload_ref: &[u8] = if info.lossless {
@@ -216,36 +218,106 @@ pub fn decompress_into<T: Element>(
     out.reserve(n);
     recon.clear();
     recon.resize(n, 0.0);
+    let (nz, ny, nx) = (st.ext[0], st.ext[1], st.ext[2]);
+    let plane = ny * nx;
+    zero_row.clear();
+    zero_row.resize(nx, 0.0);
     let mut lit_pos = 0usize;
-    let mut idx = 0usize;
-    for z in 0..st.ext[0] {
-        for y in 0..st.ext[1] {
-            for x in 0..st.ext[2] {
-                let code = codes[idx];
-                let value: T = if code == UNPREDICTABLE {
-                    let v = T::read_le(lit_bytes, &mut lit_pos)?;
-                    recon[idx] = if v.to_f64().is_finite() {
-                        v.to_f64()
-                    } else {
-                        0.0
-                    };
-                    v
-                } else {
-                    if code as usize >= quant.alphabet() {
-                        return Err(SzError::Corrupt("symbol out of alphabet"));
-                    }
-                    let pred = lorenzo.predict(recon, z, y, x);
-                    let r64 = quant.reconstruct(code, pred);
-                    let v = T::from_f64(r64);
-                    recon[idx] = v.to_f64();
-                    v
-                };
-                out.push(value);
-                idx += 1;
-            }
+    // Row-kernel replay of the compressor's recurrence: absent neighbor
+    // rows read from a zero row, `x-1` neighbors carried in registers.
+    // Values are identical to the per-point branchy replay — same
+    // argument as the compressor's fused kernel.
+    for z in 0..nz {
+        for y in 0..ny {
+            let base = z * plane + y * nx;
+            let (head, tail) = recon.split_at_mut(base);
+            let cur = &mut tail[..nx];
+            let py: &[f64] = if y > 0 {
+                &head[base - nx..base]
+            } else {
+                zero_row
+            };
+            let pz: &[f64] = if z > 0 {
+                &head[base - plane..base - plane + nx]
+            } else {
+                zero_row
+            };
+            let pzy: &[f64] = if z > 0 && y > 0 {
+                &head[base - plane - nx..base - plane]
+            } else {
+                zero_row
+            };
+            decode_row(
+                &codes[base..base + nx],
+                cur,
+                py,
+                pz,
+                pzy,
+                &quant,
+                lit_bytes,
+                &mut lit_pos,
+                out,
+            )?;
         }
     }
     Ok(info.dims)
+}
+
+/// Decode one grid row: invert the quantizer against the row-kernel
+/// Lorenzo prediction, pulling literals for escape codes.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn decode_row<T: Element>(
+    codes: &[u32],
+    cur: &mut [f64],
+    py: &[f64],
+    pz: &[f64],
+    pzy: &[f64],
+    quant: &Quantizer,
+    lit_bytes: &[u8],
+    lit_pos: &mut usize,
+    out: &mut Vec<T>,
+) -> Result<()> {
+    let nx = codes.len();
+    debug_assert!(cur.len() == nx && py.len() >= nx && pz.len() >= nx && pzy.len() >= nx);
+    let alphabet = quant.alphabet();
+    let mut cx = 0.0f64;
+    let mut pyx = 0.0f64;
+    let mut pzx = 0.0f64;
+    let mut pzyx = 0.0f64;
+    for x in 0..nx {
+        let ry = py[x];
+        let rz = pz[x];
+        let rzy = pzy[x];
+        let pred = ((((((0.0 + cx) + ry) + rz) - pyx) - pzx) - rzy) + pzyx;
+        let code = codes[x];
+        let rv: f64;
+        let value: T;
+        if code == UNPREDICTABLE {
+            let v = T::read_le(lit_bytes, lit_pos)?;
+            rv = if v.to_f64().is_finite() {
+                v.to_f64()
+            } else {
+                0.0
+            };
+            value = v;
+        } else {
+            if code as usize >= alphabet {
+                return Err(SzError::Corrupt("symbol out of alphabet"));
+            }
+            let r64 = quant.reconstruct(code, pred);
+            let v = T::from_f64(r64);
+            rv = v.to_f64();
+            value = v;
+        }
+        cur[x] = rv;
+        out.push(value);
+        cx = rv;
+        pyx = ry;
+        pzx = rz;
+        pzyx = rzy;
+    }
+    Ok(())
 }
 
 /// Convenience wrapper: decompress an `f32` stream.
@@ -261,7 +333,7 @@ pub fn decompress_f64(bytes: &[u8]) -> Result<(Vec<f64>, Dims)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compressor::compress_f32;
+    use crate::compressor::{compress_f32, compress_f64};
     use crate::config::Config;
     use crate::stream::put_varint;
 
@@ -270,6 +342,14 @@ mod tests {
         let data: Vec<f32> = (0..120).map(|i| (i as f32 * 0.13).sin()).collect();
         let cfg = Config::abs(1e-3).with_lossless(lossless);
         let bytes = compress_f32(&data, &dims, &cfg).unwrap();
+        (data, dims, bytes)
+    }
+
+    fn sample_stream_f64(lossless: bool) -> (Vec<f64>, Dims, Vec<u8>) {
+        let dims = Dims::d3(6, 5, 4);
+        let data: Vec<f64> = (0..120).map(|i| (i as f64 * 0.13).sin()).collect();
+        let cfg = Config::abs(1e-9).with_lossless(lossless);
+        let bytes = compress_f64(&data, &dims, &cfg).unwrap();
         (data, dims, bytes)
     }
 
@@ -295,6 +375,44 @@ mod tests {
                 Err(SzError::Truncated(_))
             ));
             assert!(decompress_f32(&bytes[..cut]).is_err(), "payload cut {cut}");
+        }
+    }
+
+    #[test]
+    fn f64_truncation_at_every_header_boundary_is_typed() {
+        // Mirror of the f32 test on a dtype=1 stream: the wider literal
+        // width (8-byte escapes) and f64 header eb must not open any
+        // panic path at header or payload cuts.
+        let (_, _, bytes) = sample_stream_f64(true);
+        let info = stream_info(&bytes).unwrap();
+        assert_eq!(info.dtype, 1);
+        for cut in 0..info.payload_offset {
+            assert!(stream_info(&bytes[..cut]).is_err(), "header cut at {cut}");
+            assert!(
+                decompress_f64(&bytes[..cut]).is_err(),
+                "decode of header cut at {cut} accepted"
+            );
+        }
+        for cut in info.payload_offset..bytes.len() {
+            assert!(matches!(
+                stream_info(&bytes[..cut]),
+                Err(SzError::Truncated(_))
+            ));
+            assert!(decompress_f64(&bytes[..cut]).is_err(), "payload cut {cut}");
+        }
+    }
+
+    #[test]
+    fn f64_corrupt_payload_never_panics() {
+        // Mirror of `corrupt_payload_counts_rejected` for dtype=1
+        // without the lossless stage, so flips land directly in the
+        // Huffman payload and literal stream.
+        let (_, _, bytes) = sample_stream_f64(false);
+        let info = stream_info(&bytes).unwrap();
+        for i in info.payload_offset..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0xFF;
+            let _ = decompress_f64(&b); // must not panic
         }
     }
 

@@ -17,10 +17,25 @@ use std::collections::BinaryHeap;
 const MAX_CODE_LEN: u8 = 32;
 
 /// Encoder-side canonical Huffman table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HuffmanEncoder {
     /// `(code, len)` per symbol; `len == 0` means the symbol is absent.
     codes: Vec<(u32, u8)>,
+    /// Symbols with `len > 0`, ascending — lets [`Self::serialize`] and
+    /// in-place rebuilds skip full-alphabet scans.
+    present: Vec<u32>,
+}
+
+/// Reusable workspace for [`HuffmanEncoder::rebuild_sparse`]: the tree
+/// arrays sized by the number of *used* symbols, not the alphabet, so a
+/// per-chunk encode loop does no alphabet-proportional allocation.
+#[derive(Debug, Default)]
+pub struct EncoderWorkspace {
+    lens: Vec<u8>,
+    parent: Vec<usize>,
+    nodes: Vec<Node>,
+    flat: Vec<u64>,
+    by_len: Vec<(u8, u32)>,
 }
 
 /// Decoder-side canonical Huffman table.
@@ -52,59 +67,64 @@ impl Default for HuffmanDecoder {
     }
 }
 
-/// Compute code lengths for `freqs` (index = symbol), returning a vector
-/// of lengths. Zero-frequency symbols get length 0.
-fn code_lengths(freqs: &[u64]) -> Vec<u8> {
-    // Number of used symbols.
-    let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
-    let mut lens = vec![0u8; freqs.len()];
+// Standard heap-based Huffman tree node; ids index a parent array.
+#[derive(Debug, PartialEq, Eq)]
+struct Node {
+    freq: u64,
+    id: usize,
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for min-heap; tie-break on id for determinism.
+        other
+            .freq
+            .cmp(&self.freq)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Compute code lengths for the used symbols only. `used` must list the
+/// symbols with `freqs[s] > 0` in ascending order; on return
+/// `ws.lens[i]` is the code length of `used[i]`. All scratch lives in
+/// `ws`, so steady-state calls allocate nothing.
+fn code_lengths_sparse(freqs: &[u64], used: &[u32], ws: &mut EncoderWorkspace) {
+    ws.lens.clear();
+    ws.lens.resize(used.len(), 0);
     match used.len() {
-        0 => return lens,
+        0 => return,
         1 => {
-            lens[used[0]] = 1;
-            return lens;
+            ws.lens[0] = 1;
+            return;
         }
         _ => {}
     }
 
-    // Standard heap-based Huffman tree; nodes index into a parent array.
-    #[derive(PartialEq, Eq)]
-    struct Node {
-        freq: u64,
-        id: usize,
-    }
-    impl Ord for Node {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reverse for min-heap; tie-break on id for determinism.
-            other
-                .freq
-                .cmp(&self.freq)
-                .then_with(|| other.id.cmp(&self.id))
-        }
-    }
-    impl PartialOrd for Node {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    // Work on the caller's frequencies directly; the flattened copy is
-    // only materialized on the rare too-deep retry path.
-    let mut freqs_work: Option<Vec<u64>> = None;
+    // Work on a compact copy of the used frequencies; the flatten-retry
+    // path (rare; needs near-Fibonacci profiles) mutates it in place.
+    ws.flat.clear();
+    ws.flat.extend(used.iter().map(|&s| freqs[s as usize]));
     loop {
-        let f: &[u64] = freqs_work.as_deref().unwrap_or(freqs);
-        let mut parent = vec![usize::MAX; used.len() * 2];
-        let mut heap: BinaryHeap<Node> = used
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| Node { freq: f[s], id: i })
-            .collect();
+        ws.parent.clear();
+        ws.parent.resize(used.len() * 2, usize::MAX);
+        ws.nodes.clear();
+        ws.nodes.extend(
+            ws.flat
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| Node { freq: f, id: i }),
+        );
+        let mut heap = BinaryHeap::from(std::mem::take(&mut ws.nodes));
         let mut next_id = used.len();
         while heap.len() > 1 {
             let a = heap.pop().unwrap();
             let b = heap.pop().unwrap();
-            parent[a.id] = next_id;
-            parent[b.id] = next_id;
+            ws.parent[a.id] = next_id;
+            ws.parent[b.id] = next_id;
             heap.push(Node {
                 freq: a.freq.saturating_add(b.freq),
                 id: next_id,
@@ -113,31 +133,47 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
         }
         // Depth of each leaf = chain length to the root.
         let root = heap.pop().unwrap().id;
+        // Hand the heap's allocation back to the workspace.
+        ws.nodes = heap.into_vec();
         let mut too_deep = false;
-        for (i, &s) in used.iter().enumerate() {
+        for i in 0..used.len() {
             let mut d = 0u32;
             let mut n = i;
             while n != root {
-                n = parent[n];
+                n = ws.parent[n];
                 d += 1;
             }
             if d > MAX_CODE_LEN as u32 {
                 too_deep = true;
                 break;
             }
-            lens[s] = d.max(1) as u8;
+            ws.lens[i] = d.max(1) as u8;
         }
         if !too_deep {
-            return lens;
+            return;
         }
         // Flatten the distribution and retry; converges quickly.
-        let fw = freqs_work.get_or_insert_with(|| freqs.to_vec());
-        for f in fw.iter_mut() {
+        for f in ws.flat.iter_mut() {
             if *f > 0 {
                 *f = (*f >> 1) + 1;
             }
         }
     }
+}
+
+/// Compute code lengths for `freqs` (index = symbol), returning a vector
+/// of lengths. Zero-frequency symbols get length 0.
+fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let used: Vec<u32> = (0..freqs.len() as u32)
+        .filter(|&s| freqs[s as usize] > 0)
+        .collect();
+    let mut ws = EncoderWorkspace::default();
+    code_lengths_sparse(freqs, &used, &mut ws);
+    let mut lens = vec![0u8; freqs.len()];
+    for (i, &s) in used.iter().enumerate() {
+        lens[s as usize] = ws.lens[i];
+    }
+    lens
 }
 
 /// Assign canonical codes given lengths. Returns `(code, len)` per symbol.
@@ -166,9 +202,64 @@ impl HuffmanEncoder {
     /// symbol `s`).
     pub fn from_freqs(freqs: &[u64]) -> Self {
         let lens = code_lengths(freqs);
+        let present: Vec<u32> = lens
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0)
+            .map(|(s, _)| s as u32)
+            .collect();
         HuffmanEncoder {
             codes: canonical_codes(&lens),
+            present,
         }
+    }
+
+    /// Rebuild this encoder in place from sparse frequency data,
+    /// recycling its table allocation and the caller's workspace.
+    ///
+    /// `used` must list the symbols with `freqs[s] > 0` in ascending
+    /// order. The resulting table — codes, serialized bytes, encoded
+    /// stream — is byte-identical to
+    /// `HuffmanEncoder::from_freqs(&freqs[..alphabet])`, but the only
+    /// alphabet-proportional work is the (amortized) table resize: the
+    /// tree build touches `used.len()` entries, not the alphabet.
+    pub fn rebuild_sparse(
+        &mut self,
+        alphabet: usize,
+        freqs: &[u64],
+        used: &[u32],
+        ws: &mut EncoderWorkspace,
+    ) {
+        // Clear the previous build's entries before resizing so stale
+        // (code, len) pairs can't survive under a new symbol set.
+        for &s in &self.present {
+            if let Some(e) = self.codes.get_mut(s as usize) {
+                *e = (0, 0);
+            }
+        }
+        self.codes.resize(alphabet, (0, 0));
+
+        code_lengths_sparse(freqs, used, ws);
+        // Canonical assignment in (len, symbol) order, as in
+        // `canonical_codes`.
+        ws.by_len.clear();
+        ws.by_len.extend(
+            used.iter()
+                .enumerate()
+                .filter(|&(i, _)| ws.lens[i] > 0)
+                .map(|(i, &s)| (ws.lens[i], s)),
+        );
+        ws.by_len.sort_unstable();
+        let mut code: u64 = 0;
+        let mut prev_len = 0u8;
+        for &(len, sym) in &ws.by_len {
+            code <<= len - prev_len;
+            self.codes[sym as usize] = (code as u32, len);
+            code += 1;
+            prev_len = len;
+        }
+        self.present.clear();
+        self.present.extend_from_slice(used);
     }
 
     /// Build directly from a symbol stream.
@@ -196,20 +287,15 @@ impl HuffmanEncoder {
 
     /// Serialize the table: varint count then (delta-coded symbol, len).
     pub fn serialize(&self, out: &mut Vec<u8>) {
-        let n_present = self.codes.iter().filter(|&&(_, l)| l > 0).count();
+        let n_present = self.present.len();
         // Two header varints plus, per entry, a symbol delta (≤ 5 bytes
         // for any alphabet we admit) and one length byte.
         out.reserve(20 + n_present * 6);
         put_varint(out, self.codes.len() as u64);
         put_varint(out, n_present as u64);
         let mut prev = 0u32;
-        for (sym, len) in self
-            .codes
-            .iter()
-            .enumerate()
-            .filter(|&(_, &(_, l))| l > 0)
-            .map(|(s, &(_, l))| (s as u32, l))
-        {
+        for &sym in &self.present {
+            let len = self.codes[sym as usize].1;
             put_varint(out, u64::from(sym - prev));
             out.push(len);
             prev = sym;
@@ -227,8 +313,7 @@ impl HuffmanEncoder {
 
     /// Table size when serialized, in bytes (used by the ratio model).
     pub fn table_bytes(&self) -> usize {
-        let n_present = self.codes.iter().filter(|&&(_, l)| l > 0).count();
-        let mut v = Vec::with_capacity(20 + n_present * 6);
+        let mut v = Vec::with_capacity(20 + self.present.len() * 6);
         self.serialize(&mut v);
         v.len()
     }
@@ -456,6 +541,44 @@ mod tests {
             let fresh = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
             let mut r = BitReader::new(&bits);
             assert_eq!(&fresh.decode(&mut r, syms.len()).unwrap(), syms);
+        }
+    }
+
+    #[test]
+    fn rebuild_sparse_matches_from_freqs() {
+        // One encoder rebuilt in place across streams of different
+        // alphabets and symbol sets must serialize and encode exactly
+        // like a fresh dense build — including after shrinks, so stale
+        // entries from a wider previous table can't leak through.
+        let streams: Vec<(Vec<u32>, usize)> = vec![
+            ((0..5_000u32).map(|i| (i * 7919) % 65536).collect(), 65536),
+            (vec![1, 2, 3, 1, 1, 1, 2, 0, 0, 3], 4),
+            (vec![5; 100], 8),
+            ((0..500u32).map(|i| i % 300).collect(), 4096),
+            (vec![7], 16),
+        ];
+        let mut enc = HuffmanEncoder::default();
+        let mut ws = EncoderWorkspace::default();
+        for (syms, alphabet) in &streams {
+            let mut freqs = vec![0u64; *alphabet];
+            for &s in syms {
+                freqs[s as usize] += 1;
+            }
+            let used: Vec<u32> = (0..*alphabet as u32)
+                .filter(|&s| freqs[s as usize] > 0)
+                .collect();
+            enc.rebuild_sparse(*alphabet, &freqs, &used, &mut ws);
+            let fresh = HuffmanEncoder::from_freqs(&freqs);
+
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            enc.serialize(&mut a);
+            fresh.serialize(&mut b);
+            assert_eq!(a, b, "serialized table diverged at alphabet {alphabet}");
+            let (mut wa, mut wb) = (BitWriter::new(), BitWriter::new());
+            enc.encode(syms, &mut wa);
+            fresh.encode(syms, &mut wb);
+            assert_eq!(wa.finish(), wb.finish());
+            assert_eq!(enc.table_bytes(), fresh.table_bytes());
         }
     }
 

@@ -56,8 +56,8 @@ mod compressor;
 mod decompressor;
 
 pub use compressor::{
-    compress, compress_f32, compress_f64, compress_into, compress_with_stats, CompressStats,
-    Scratch,
+    compress, compress_f32, compress_f64, compress_into, compress_reference, compress_with_stats,
+    CompressStats, Scratch,
 };
 pub use config::{Config, Dims, ErrorBound};
 pub use decompressor::{
@@ -66,7 +66,7 @@ pub use decompressor::{
 };
 pub use element::Element;
 pub use error::{Result, SzError};
-pub use sampling::{sample_quantization, SampleCodes};
+pub use sampling::{sample_quantization, SampleCodes, MIN_SAMPLE_POINTS};
 
 #[cfg(test)]
 mod tests {

@@ -27,20 +27,41 @@ fn hash4(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
+/// Reusable LZSS matcher state: the hash-head table and chain links.
+///
+/// The head table stores *epoch-offset* positions: each compressed
+/// buffer advances `base` by at least `len + WINDOW + 1`, so entries
+/// left over from a previous buffer automatically fail the window
+/// check. That turns the 512 KiB per-call head-table reset (the old
+/// `vec![usize::MAX; 1 << HASH_BITS]`) into a one-time allocation —
+/// the dominant LZSS cost for small per-chunk payloads.
+#[derive(Debug, Default)]
+pub struct LzScratch {
+    head: Vec<u64>,
+    prev: Vec<u64>,
+    base: u64,
+}
+
 /// Compress `input`, always producing a self-describing stream
 /// (mode byte + payload). Never grows the data by more than a few bytes.
 pub fn compress(input: &[u8]) -> Vec<u8> {
-    let lz = lzss_compress(input);
-    if lz.len() + 1 < input.len() {
-        let mut out = Vec::with_capacity(lz.len() + 1);
-        out.push(MODE_LZSS);
-        out.extend_from_slice(&lz);
-        out
-    } else {
-        let mut out = Vec::with_capacity(input.len() + 1);
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    compress_into(input, &mut out, &mut LzScratch::default());
+    out
+}
+
+/// Compress `input` into `out` (cleared first), reusing `scratch`
+/// across calls. Output is byte-identical to [`compress`].
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>, scratch: &mut LzScratch) {
+    out.clear();
+    out.push(MODE_LZSS);
+    lzss_compress_into(input, out, scratch);
+    if out.len() >= input.len() {
+        // Incompressible: store raw (same cutoff as before — LZSS is
+        // kept only when mode byte + tokens is smaller than the input).
+        out.clear();
         out.push(MODE_RAW);
         out.extend_from_slice(input);
-        out
     }
 }
 
@@ -69,15 +90,48 @@ pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
     }
 }
 
-fn lzss_compress(input: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    put_varint(&mut out, input.len() as u64);
+/// Length of the common prefix of `input[a..]` and `input[b..]`, capped
+/// at `max_len`. Compares 8 bytes at a time; the result is identical to
+/// the byte-by-byte scan.
+#[inline]
+fn match_len(input: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    let mut l = 0usize;
+    while l + 8 <= max_len {
+        let wa = u64::from_le_bytes(input[a + l..a + l + 8].try_into().unwrap());
+        let wb = u64::from_le_bytes(input[b + l..b + l + 8].try_into().unwrap());
+        let x = wa ^ wb;
+        if x != 0 {
+            return l + (x.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max_len && input[a + l] == input[b + l] {
+        l += 1;
+    }
+    l
+}
+
+fn lzss_compress_into(input: &[u8], out: &mut Vec<u8>, s: &mut LzScratch) {
+    put_varint(out, input.len() as u64);
     if input.is_empty() {
-        return out;
+        return;
     }
 
-    let mut head = vec![usize::MAX; 1 << HASH_BITS];
-    let mut prev = vec![usize::MAX; input.len()];
+    if s.head.is_empty() {
+        s.head = vec![0u64; 1 << HASH_BITS];
+        // Positions are stored as `base + i` with 0 meaning "empty";
+        // starting past the window makes the empty marker fail the
+        // window check like any stale entry.
+        s.base = WINDOW as u64 + 1;
+    }
+    let base = s.base;
+    // Next call's positions are unreachable from this one through the
+    // window check, so the head table never needs resetting.
+    s.base = base + input.len() as u64 + WINDOW as u64 + 1;
+    s.prev.clear();
+    s.prev.resize(input.len(), 0);
+    let head = &mut s.head[..];
+    let prev = &mut s.prev[..];
 
     let mut i = 0usize;
     // Token group: flag byte position + bit count.
@@ -104,22 +158,28 @@ fn lzss_compress(input: &[u8]) -> Vec<u8> {
         let mut best_dist = 0usize;
         if i + MIN_MATCH <= input.len() {
             let h = hash4(input, i);
-            let mut cand = head[h];
+            let gi = base + i as u64;
+            let mut g = head[h];
             let mut chain = 0;
-            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
-                let max_len = (input.len() - i).min(MAX_MATCH);
-                let mut l = 0;
-                while l < max_len && input[cand + l] == input[i + l] {
-                    l += 1;
-                }
-                if l > best_len {
-                    best_len = l;
-                    best_dist = i - cand;
-                    if l == max_len {
-                        break;
+            let max_len = (input.len() - i).min(MAX_MATCH);
+            while gi - g <= WINDOW as u64 && chain < MAX_CHAIN {
+                let cand = (g - base) as usize;
+                // A candidate can only beat `best_len` if it also
+                // matches at offset `best_len`; skipping the scan
+                // otherwise never changes which match wins.
+                if best_len == 0
+                    || (best_len < max_len && input[cand + best_len] == input[i + best_len])
+                {
+                    let l = match_len(input, cand, i, max_len);
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l == max_len {
+                            break;
+                        }
                     }
                 }
-                cand = prev[cand];
+                g = prev[cand];
                 chain += 1;
             }
         }
@@ -133,7 +193,7 @@ fn lzss_compress(input: &[u8]) -> Vec<u8> {
             while i < end && i + MIN_MATCH <= input.len() {
                 let h = hash4(input, i);
                 prev[i] = head[h];
-                head[h] = i;
+                head[h] = base + i as u64;
                 i += 1;
             }
             i = end;
@@ -143,12 +203,11 @@ fn lzss_compress(input: &[u8]) -> Vec<u8> {
             if i + MIN_MATCH <= input.len() {
                 let h = hash4(input, i);
                 prev[i] = head[h];
-                head[h] = i;
+                head[h] = base + i as u64;
             }
             i += 1;
         }
     }
-    out
 }
 
 fn lzss_decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
@@ -276,6 +335,41 @@ mod tests {
             let c = compress(s);
             decompress_into(&c, &mut buf).unwrap();
             assert_eq!(&buf, s);
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_byte_identical() {
+        // One scratch recycled across many buffers (repeats, randomish,
+        // overlapping self-copies, tiny, empty) must emit exactly the
+        // stream a fresh scratch does: stale head entries may never
+        // surface as match candidates.
+        let mut x = 0xdeadbeefu32;
+        let mut rnd = |n: usize| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    (x & 0xff) as u8
+                })
+                .collect()
+        };
+        let buffers: Vec<Vec<u8>> = vec![
+            b"abcabcabcabc".repeat(64),
+            rnd(10_000),
+            vec![b'a'; 1000],
+            b"abcabcabcabc".repeat(64), // repeat of an earlier input
+            Vec::new(),
+            rnd(3),
+            vec![0u8; 100_000],
+        ];
+        let mut s = LzScratch::default();
+        let mut out = Vec::new();
+        for b in &buffers {
+            compress_into(b, &mut out, &mut s);
+            assert_eq!(out, compress(b), "diverged on len {}", b.len());
+            assert_eq!(decompress(&out).unwrap(), *b);
         }
     }
 

@@ -86,6 +86,20 @@ impl SampleCodes {
 /// Side length of sampled cubes / segments.
 const BLOCK: usize = 8;
 
+/// Minimum number of points a sample aims to cover, regardless of the
+/// requested fraction.
+///
+/// On small partitions a plain fraction leaves the histogram built
+/// from a handful of blocks; on noisy fields the rare large residuals
+/// are then underrepresented and the model under-predicts compressed
+/// size — which downstream turns into undersized reservations and
+/// all-overflow writes. The effective fraction is therefore floored at
+/// `MIN_SAMPLE_POINTS / n_total`: partitions at or below this size are
+/// sampled in full (still cheap — that's the regime where full
+/// sampling costs least), and the fraction only starts binding once
+/// partitions are large enough for it to cover this many points.
+pub const MIN_SAMPLE_POINTS: usize = 8192;
+
 // Within each sampled block the quantizer recurrence is replayed
 // exactly (prediction from *reconstructed* in-block neighbors, original
 // values across block boundaries). This keeps the sampled histogram
@@ -113,7 +127,8 @@ pub fn sample_quantization<T: Element>(
             actual: data.len(),
         });
     }
-    let frac = sample_fraction.clamp(1e-4, 1.0);
+    let floor = (MIN_SAMPLE_POINTS as f64 / data.len() as f64).min(1.0);
+    let frac = sample_fraction.clamp(1e-4, 1.0).max(floor);
 
     let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
     // Range scan over a stride to keep the pre-pass cheap on huge arrays.
@@ -271,8 +286,32 @@ mod tests {
     fn partial_sample_is_smaller() {
         let data = ramp(100_000);
         let s = sample_quantization(&data, &Dims::d1(100_000), &Config::abs(0.1), 0.05).unwrap();
-        assert!(s.n_sampled < 10_000, "sampled {}", s.n_sampled);
+        assert!(s.n_sampled < 12_000, "sampled {}", s.n_sampled);
         assert!(s.n_sampled > 1_000);
+    }
+
+    #[test]
+    fn small_partitions_sample_in_full() {
+        // Below MIN_SAMPLE_POINTS the requested fraction is overridden
+        // and every block is visited — the histogram of a tiny noisy
+        // partition must not come from a handful of blocks.
+        let data = ramp(4096);
+        let s = sample_quantization(&data, &Dims::d1(4096), &Config::abs(0.1), 0.05).unwrap();
+        assert_eq!(s.n_sampled, 4096);
+    }
+
+    #[test]
+    fn sample_floor_binds_above_min_points() {
+        // Just above the floor the sample still covers at least about
+        // MIN_SAMPLE_POINTS (block rounding allowed).
+        let n = 4 * MIN_SAMPLE_POINTS;
+        let data = ramp(n);
+        let s = sample_quantization(&data, &Dims::d1(n), &Config::abs(0.1), 0.05).unwrap();
+        assert!(
+            s.n_sampled >= MIN_SAMPLE_POINTS - BLOCK,
+            "sampled {} of {n}",
+            s.n_sampled
+        );
     }
 
     #[test]

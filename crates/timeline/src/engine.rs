@@ -123,22 +123,26 @@ where
         .map_err(|e| RealError(format!("timeline: create {}: {e}", cfg.dir.display())))?;
     let mut online: Option<OnlineSource> = None;
     let mut steps = Vec::with_capacity(cfg.steps);
+    // One engine config serves the whole stream; only the output path
+    // changes per step, so the per-field Config list is cloned once,
+    // not once per timestep.
+    let mut rc = RealConfig {
+        method: cfg.method,
+        configs: cfg.configs.clone(),
+        models: cfg.models,
+        policy: cfg.policy,
+        bandwidth: cfg.bandwidth,
+        throttle_scale: cfg.throttle_scale,
+        sz_threads: cfg.sz_threads,
+        verify: cfg.verify,
+        path: PathBuf::new(),
+    };
     for step in 0..cfg.steps {
         let data = step_data(step);
         let data = data.borrow();
         let nranks = data.len();
         let nfields = data.first().map_or(0, Vec::len);
-        let rc = RealConfig {
-            method: cfg.method,
-            configs: cfg.configs.clone(),
-            models: cfg.models,
-            policy: cfg.policy,
-            bandwidth: cfg.bandwidth,
-            throttle_scale: cfg.throttle_scale,
-            sz_threads: cfg.sz_threads,
-            verify: cfg.verify,
-            path: cfg.step_path(step),
-        };
+        rc.path = cfg.step_path(step);
         let (result, obs) = match &cfg.mode {
             AdaptMode::Static => run_real_with(
                 data,
@@ -171,7 +175,7 @@ where
         };
         steps.push(StepMetrics::collect(step, result, &obs, mean_rel_err));
         if !cfg.keep_files {
-            let _ = std::fs::remove_file(rc.path);
+            let _ = std::fs::remove_file(&rc.path);
         }
     }
     Ok(TimelineReport {

@@ -2,24 +2,63 @@
 //! blocking unbounded MPMC queue. Unlike `std::sync::mpsc`, receivers
 //! are cloneable — the property `h5lite::asyncq` relies on to share one
 //! queue among worker threads.
+//!
+//! The queue is **sharded**: messages round-robin across `NSHARDS`
+//! independently locked deques, each receiver prefers one shard and
+//! steals from the rest, so concurrent senders/receivers do not
+//! serialize on a single mutex. The price is that delivery order
+//! across shards is not globally FIFO; every in-tree consumer is
+//! order-insensitive (`ordered_fanout` reorders at its sink, the
+//! event-set write queue addresses writes by file offset).
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+    /// Shard count (power of two). Enough that 8–16 pipeline workers
+    /// rarely collide on one lock; small enough that stealing scans
+    /// stay cheap.
+    const NSHARDS: usize = 8;
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    struct Shard<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
 
     struct Shared<T> {
-        queue: Mutex<VecDeque<T>>,
-        ready: Condvar,
+        shards: Vec<Shard<T>>,
+        /// Round-robin cursor for sends.
+        push_idx: AtomicUsize,
+        /// Preferred-shard cursor for receiver clones.
+        recv_idx: AtomicUsize,
+        /// Total queued messages (updated under the owning shard's
+        /// lock, so it can never transiently underflow).
+        len: AtomicUsize,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        /// Parked receivers; senders only take `sleep_lock` when this
+        /// is non-zero.
+        sleepers: AtomicUsize,
+        sleep_lock: Mutex<()>,
+        ready: Condvar,
     }
 
     /// Error returned by [`Sender::send`] when all receivers are gone;
     /// carries the rejected message like crossbeam's.
     #[derive(PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    impl<T> SendError<T> {
+        /// Recover the message that could not be sent (crossbeam API).
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
 
     // Like crossbeam: Debug without requiring `T: Debug`.
     impl<T> fmt::Debug for SendError<T> {
@@ -53,35 +92,86 @@ pub mod channel {
 
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
+        /// Preferred shard: popped first, then the rest are stolen
+        /// from in ring order.
+        home: usize,
     }
 
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
+            shards: (0..NSHARDS)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            push_idx: AtomicUsize::new(0),
+            recv_idx: AtomicUsize::new(1),
+            len: AtomicUsize::new(0),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            ready: Condvar::new(),
         });
         (
             Sender {
                 shared: Arc::clone(&shared),
             },
-            Receiver { shared },
+            Receiver { shared, home: 0 },
         )
     }
 
-    impl<T> Sender<T> {
-        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            if self.shared.receivers.load(Ordering::Acquire) == 0 {
-                return Err(SendError(value));
+    impl<T> Shared<T> {
+        /// Pop from any shard, preferring `home`. Returns `None` only
+        /// if every shard was observed empty.
+        fn steal(&self, home: usize) -> Option<T> {
+            for k in 0..NSHARDS {
+                let shard = &self.shards[(home + k) % NSHARDS];
+                let mut q = lock(&shard.queue);
+                if let Some(v) = q.pop_front() {
+                    // Under the shard lock, after the matching push.
+                    self.len.fetch_sub(1, Ordering::SeqCst);
+                    return Some(v);
+                }
             }
-            self.shared
-                .queue
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push_back(value);
-            self.shared.ready.notify_one();
+            None
+        }
+
+        /// Wake parked receivers. Taking `sleep_lock` serializes with
+        /// the window between a receiver's sleepers increment and its
+        /// `wait`, so the notification cannot be lost.
+        fn wake(&self, all: bool) {
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                let _g = lock(&self.sleep_lock);
+                if all {
+                    self.ready.notify_all();
+                } else {
+                    self.ready.notify_one();
+                }
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message. Fails — returning the message — iff every
+        /// receiver disconnected before the send was committed: the
+        /// disconnect check runs under the destination shard's lock,
+        /// and the last receiver's drop takes every shard lock, so a
+        /// send observing `receivers > 0` is fully ordered before the
+        /// disconnect and a send ordered after it always errors. No
+        /// in-flight message is ever silently dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let idx = self.shared.push_idx.fetch_add(1, Ordering::Relaxed) % NSHARDS;
+            {
+                let mut q = lock(&self.shared.shards[idx].queue);
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                q.push_back(value);
+                self.shared.len.fetch_add(1, Ordering::SeqCst);
+            }
+            self.shared.wake(false);
             Ok(())
         }
     }
@@ -89,38 +179,51 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Block until a message arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut queue = self
-                .shared
-                .queue
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(v) = queue.pop_front() {
+                if let Some(v) = self.shared.steal(self.home) {
                     return Ok(v);
                 }
-                if self.shared.senders.load(Ordering::Acquire) == 0 {
-                    return Err(RecvError);
+                // Park. The sleepers increment and the len re-check
+                // are both SeqCst, pairing with the sender's
+                // len-increment → sleepers-load order: either we see
+                // the new message here, or the sender sees us parked
+                // and notifies under `sleep_lock`.
+                let mut g = lock(&self.shared.sleep_lock);
+                self.shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                loop {
+                    if self.shared.len.load(Ordering::SeqCst) > 0 {
+                        break;
+                    }
+                    if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                        // Senders may have enqueued and dropped after
+                        // our scan; one post-check scan under the
+                        // parked state settles it.
+                        self.shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                        drop(g);
+                        return match self.shared.steal(self.home) {
+                            Some(v) => Ok(v),
+                            None => Err(RecvError),
+                        };
+                    }
+                    g = self
+                        .shared
+                        .ready
+                        .wait(g)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
-                queue = self
-                    .shared
-                    .ready
-                    .wait(queue)
-                    .unwrap_or_else(PoisonError::into_inner);
+                self.shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                drop(g);
             }
         }
 
         pub fn try_recv(&self) -> Option<T> {
-            self.shared
-                .queue
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_front()
+            self.shared.steal(self.home)
         }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
             Sender {
                 shared: Arc::clone(&self.shared),
             }
@@ -129,26 +232,20 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
             Receiver {
                 shared: Arc::clone(&self.shared),
+                home: self.shared.recv_idx.fetch_add(1, Ordering::Relaxed) % NSHARDS,
             }
         }
     }
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
-                // Last sender gone: wake receivers so they observe
-                // disconnection instead of sleeping forever. The lock
-                // must be held across the notify — otherwise a receiver
-                // that already read senders == 1 but has not yet parked
-                // in wait() would miss the wakeup and sleep forever.
-                let _queue = self
-                    .shared
-                    .queue
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner);
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake every receiver so they
+                // observe disconnection instead of sleeping forever.
+                let _g = lock(&self.shared.sleep_lock);
                 self.shared.ready.notify_all();
             }
         }
@@ -156,7 +253,16 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Fence against in-flight sends: acquiring every shard
+                // lock once means any send that already passed its
+                // under-lock disconnect check has also committed its
+                // message, and any later send will observe
+                // `receivers == 0` and return the value typed.
+                for shard in &self.shared.shards {
+                    drop(lock(&shard.queue));
+                }
+            }
         }
     }
 
@@ -202,10 +308,121 @@ pub mod channel {
         }
 
         #[test]
+        fn drained_before_disconnect_reported() {
+            // Values sent across many shards before the sender drops
+            // must all drain before RecvError surfaces.
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got: Vec<u32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
         fn send_errors_after_receivers_drop() {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert_eq!(tx.send(9), Err(SendError(9)));
+            assert_eq!(tx.send(7).unwrap_err().into_inner(), 7);
+        }
+
+        #[test]
+        fn concurrent_disconnect_never_loses_a_value() {
+            // Hammer the send ↔ last-receiver-drop race: every send
+            // must either deliver its value or hand it back as a typed
+            // SendError. Counting both sides proves no value vanishes.
+            for _ in 0..50 {
+                let (tx, rx) = unbounded::<u64>();
+                let producer = {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        let mut returned = 0u64;
+                        let mut sent = 0u64;
+                        for i in 0..1000u64 {
+                            match tx.send(i) {
+                                Ok(()) => sent += 1,
+                                Err(SendError(_)) => returned += 1,
+                            }
+                        }
+                        (sent, returned)
+                    })
+                };
+                let consumer = std::thread::spawn(move || {
+                    let mut got = 0u64;
+                    for _ in 0..100 {
+                        if rx.try_recv().is_some() {
+                            got += 1;
+                        }
+                    }
+                    // Receiver disconnects here, mid-stream.
+                    drop(rx);
+                    got
+                });
+                let (sent, returned) = producer.join().unwrap();
+                let got = consumer.join().unwrap();
+                assert_eq!(sent + returned, 1000);
+                // Everything accepted but unreceived is still queued
+                // (not lost): accepted sends happened before the
+                // disconnect fence.
+                assert!(got <= sent);
+                drop(tx);
+            }
+        }
+
+        #[test]
+        fn parked_receiver_wakes_on_send() {
+            let (tx, rx) = unbounded::<u8>();
+            let h = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(42));
+        }
+
+        #[test]
+        fn many_producers_many_consumers() {
+            let (tx, rx) = unbounded::<u64>();
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..500u64 {
+                            tx.send(p * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(tx);
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut all: Vec<u64> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            let expected: Vec<u64> = (0..4u64)
+                .flat_map(|p| (0..500u64).map(move |i| p * 1000 + i))
+                .collect();
+            let mut expected = expected;
+            expected.sort_unstable();
+            assert_eq!(all, expected);
         }
     }
 }

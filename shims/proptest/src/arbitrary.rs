@@ -30,6 +30,12 @@ macro_rules! arbitrary_ints {
             fn sample(&self, rng: &mut TestRng) -> SampleResult<$t> {
                 Ok(rng.next_u64() as $t)
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                crate::strategy::shrink_int_toward_zero(*v as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
 
         impl Arbitrary for $t {
@@ -78,6 +84,13 @@ impl Strategy for Any<bool> {
     type Value = bool;
     fn sample(&self, rng: &mut TestRng) -> SampleResult<bool> {
         Ok(rng.next_u64() & 1 == 1)
+    }
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 

@@ -51,12 +51,47 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
+/// At most this many positions get per-element candidates per shrink
+/// round, bounding candidate fan-out on large vectors.
+const ELEMENT_SHRINK_POSITIONS: usize = 64;
+
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> SampleResult<Vec<S::Value>> {
         let span = self.size.hi - self.size.lo + 1;
         let len = self.size.lo + rng.usize_below(span);
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let lo = self.size.lo;
+        // Shorter vectors first: truncate hard to the minimum length,
+        // bisect, then drop each single element — removing an interior
+        // element peels passengers off a failing suffix, which plain
+        // truncation cannot.
+        if v.len() > lo {
+            out.push(v[..lo].to_vec());
+            let half = lo + (v.len() - lo) / 2;
+            if half > lo && half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            for i in 0..v.len().min(ELEMENT_SHRINK_POSITIONS) {
+                let mut w = Vec::with_capacity(v.len() - 1);
+                w.extend_from_slice(&v[..i]);
+                w.extend_from_slice(&v[i + 1..]);
+                out.push(w);
+            }
+        }
+        // Then element-wise simplification at fixed length.
+        for i in 0..v.len().min(ELEMENT_SHRINK_POSITIONS) {
+            for cand in self.element.shrink(&v[i]) {
+                let mut w = v.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
     }
 }
 

@@ -3,8 +3,13 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **no shrinking** — a failing case reports the generated inputs
-//!   verbatim instead of minimizing them;
+//! * **greedy shrinking, no value trees** — on the first failure the
+//!   runner minimizes the inputs by greedy descent over per-strategy
+//!   candidate lists ([`strategy::Strategy::shrink`]): integers step
+//!   toward their range minimum, vectors toward fewer and smaller
+//!   elements, tuples one component at a time. The search stops at a
+//!   local minimum or after a fixed execution budget and reports the
+//!   minimal failing inputs;
 //! * **deterministic by default** — every test derives its RNG stream
 //!   from [`config::ProptestConfig::rng_seed`] (a fixed constant unless
 //!   overridden) hashed with the test name, so reruns see identical
@@ -58,27 +63,21 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::config::ProptestConfig = $cfg;
-                $crate::test_runner::run(&__config, stringify!($name), |__rng| {
-                    let mut __inputs: ::std::vec::Vec<::std::string::String> =
-                        ::std::vec::Vec::new();
-                    $(
-                        let __value =
-                            $crate::strategy::Strategy::sample(&($strat), __rng)?;
-                        __inputs.push(format!(
-                            concat!(stringify!($pat), " = {:?}"),
-                            &__value
-                        ));
-                        let $pat = __value;
-                    )+
-                    let __result: ::std::result::Result<
-                        (),
-                        $crate::test_runner::TestCaseError,
-                    > = (|| {
+                // All arguments form one tuple strategy so a failing
+                // case can be shrunk component-by-component. Sampling
+                // order (and hence the RNG stream) matches the old
+                // per-argument form exactly.
+                let __strategy = ($(($strat),)+);
+                $crate::test_runner::run_shrinking(
+                    &__config,
+                    stringify!($name),
+                    &__strategy,
+                    stringify!(($($pat),+)),
+                    |($($pat,)+)| {
                         $body
                         ::std::result::Result::Ok(())
-                    })();
-                    __result.map_err(|e| e.with_inputs(&__inputs))
-                });
+                    },
+                );
             }
         )*
     };

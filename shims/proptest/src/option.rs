@@ -22,6 +22,15 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             Ok(Some(self.inner.sample(rng)?))
         }
     }
+
+    fn shrink(&self, v: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match v {
+            None => Vec::new(),
+            Some(x) => std::iter::once(None)
+                .chain(self.inner.shrink(x).into_iter().map(Some))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -14,16 +14,25 @@ const FILTER_RETRIES: usize = 256;
 pub type SampleResult<T> = Result<T, Reject>;
 
 /// A reusable generator of values. Unlike real proptest there is no
-/// value tree: sampling is direct and failing cases are not shrunk.
+/// value tree: sampling is direct, and shrinking is a stateless greedy
+/// descent over [`Strategy::shrink`] candidate lists.
 pub trait Strategy {
-    type Value: Debug;
+    type Value: Debug + Clone;
 
     fn sample(&self, rng: &mut TestRng) -> SampleResult<Self::Value>;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner keeps the first candidate that still fails and
+    /// restarts from it; an empty list (the default) means the value is
+    /// already minimal as far as this strategy can tell.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
-        O: Debug,
+        O: Debug + Clone,
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
@@ -77,13 +86,15 @@ pub struct Map<S, F> {
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
-    O: Debug,
+    O: Debug + Clone,
     F: Fn(S::Value) -> O,
 {
     type Value = O;
     fn sample(&self, rng: &mut TestRng) -> SampleResult<O> {
         Ok((self.f)(self.inner.sample(rng)?))
     }
+    // No shrink: the mapping cannot be inverted to recover an input to
+    // simplify, so mapped values are reported as-is.
 }
 
 pub struct FlatMap<S, F> {
@@ -128,25 +139,39 @@ where
             self.whence
         )))
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Candidates must stay inside the filtered domain.
+        let mut c = self.inner.shrink(value);
+        c.retain(|v| (self.f)(v));
+        c
+    }
 }
 
 trait DynStrategy<T> {
     fn sample_dyn(&self, rng: &mut TestRng) -> SampleResult<T>;
+    fn shrink_dyn(&self, value: &T) -> Vec<T>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn sample_dyn(&self, rng: &mut TestRng) -> SampleResult<S::Value> {
         self.sample(rng)
     }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
+    }
 }
 
 /// Type-erased strategy, produced by [`Strategy::boxed`].
 pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
 
-impl<T: Debug> Strategy for BoxedStrategy<T> {
+impl<T: Debug + Clone> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> SampleResult<T> {
         self.0.sample_dyn(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -156,7 +181,7 @@ pub struct Union<T> {
     total_weight: u64,
 }
 
-impl<T: Debug> Union<T> {
+impl<T: Debug + Clone> Union<T> {
     pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
         Union::weighted(arms.into_iter().map(|s| (1, s)).collect())
     }
@@ -169,7 +194,7 @@ impl<T: Debug> Union<T> {
     }
 }
 
-impl<T: Debug> Strategy for Union<T> {
+impl<T: Debug + Clone> Strategy for Union<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> SampleResult<T> {
         let mut pick = rng.u64_below(self.total_weight);
@@ -181,6 +206,32 @@ impl<T: Debug> Strategy for Union<T> {
             pick -= w;
         }
         unreachable!("weight bookkeeping broken")
+    }
+    // No shrink: the producing arm is unknown after the fact, and
+    // another arm's candidates could leave the sampled arm's domain.
+}
+
+/// Shrink ladder for an integer toward a range minimum: the minimum
+/// itself, geometric steps back toward the failing value, then its
+/// predecessor. Greedy descent over this ladder converges in
+/// O(log span) accepted steps plus a short linear tail.
+pub(crate) fn shrink_int(v: i128, lo: i128) -> Vec<i128> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let d = v - lo;
+    let mut out = vec![lo, lo + d / 2, lo + d * 3 / 4, lo + d * 7 / 8, v - 1];
+    out.dedup(); // the ladder is non-decreasing, so dedup suffices
+    out
+}
+
+/// Shrink ladder toward zero for full-domain integers, mirroring the
+/// ladder for negative values so candidates approach zero from below.
+pub(crate) fn shrink_int_toward_zero(v: i128) -> Vec<i128> {
+    if v >= 0 {
+        shrink_int(v, 0)
+    } else {
+        shrink_int(-v, 0).into_iter().map(|c| -c).collect()
     }
 }
 
@@ -194,6 +245,12 @@ macro_rules! int_range_strategies {
                 let off = (rng.next_u64() as u128) % span;
                 Ok((self.start as i128 + off as i128) as $t)
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int(*v as i128, self.start as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -204,6 +261,12 @@ macro_rules! int_range_strategies {
                 let span = (hi as i128 - lo as i128 + 1) as u128;
                 let off = (rng.next_u64() as u128) % span;
                 Ok((lo as i128 + off as i128) as $t)
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int(*v as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )+};
@@ -236,6 +299,18 @@ macro_rules! tuple_strategies {
             type Value = ($($name::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> SampleResult<Self::Value> {
                 Ok(($(self.$idx.sample(rng)?,)+))
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut t = v.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
             }
         }
     )+};

@@ -1,7 +1,9 @@
-//! The case loop: sample → execute → classify pass/fail/reject.
+//! The case loop: sample → execute → classify pass/fail/reject — and
+//! the greedy shrink search run on the first failure.
 
 use crate::config::ProptestConfig;
 use crate::rng::TestRng;
+use crate::strategy::Strategy;
 
 /// A rejected sample (filter miss or failed `prop_assume!`). Cheap and
 /// expected; the runner resamples.
@@ -26,8 +28,7 @@ impl TestCaseError {
         TestCaseError::Reject(msg.into())
     }
 
-    /// Attach the generated inputs to a failure message (no shrinking:
-    /// the raw case is the diagnostic).
+    /// Attach the generated inputs to a failure message.
     pub fn with_inputs(self, inputs: &[String]) -> Self {
         match self {
             TestCaseError::Fail(msg) => TestCaseError::Fail(format!(
@@ -43,6 +44,66 @@ impl From<Reject> for TestCaseError {
     fn from(r: Reject) -> Self {
         TestCaseError::Reject(r.0)
     }
+}
+
+/// Hard cap on property re-executions during one shrink search, so a
+/// pathological candidate chain cannot stall an already-failing suite.
+const SHRINK_BUDGET: usize = 2048;
+
+/// Greedy shrink: repeatedly replace the failing value with the first
+/// shrink candidate that still fails, until no candidate fails (a
+/// local minimum) or the execution budget runs out. Returns the
+/// minimal value, the number of accepted shrink steps, and the failure
+/// message produced by the minimal case. Candidates that pass or
+/// reject (`prop_assume!`) are simply skipped.
+pub fn shrink_failure<S: Strategy>(
+    strat: &S,
+    mut value: S::Value,
+    mut msg: String,
+    case: &mut dyn FnMut(S::Value) -> Result<(), TestCaseError>,
+) -> (S::Value, usize, String) {
+    let mut steps = 0usize;
+    let mut budget = SHRINK_BUDGET;
+    'search: loop {
+        for cand in strat.shrink(&value) {
+            if budget == 0 {
+                break 'search;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = case(cand.clone()) {
+                value = cand;
+                msg = m;
+                steps += 1;
+                continue 'search;
+            }
+        }
+        break;
+    }
+    (value, steps, msg)
+}
+
+/// The `proptest!` macro's engine: sample the argument tuple from
+/// `strat`, execute `case`, and on the first failure run the shrink
+/// search before reporting. `pats` is the stringified argument
+/// pattern, used to label the minimal inputs in the panic message.
+pub fn run_shrinking<S, C>(cfg: &ProptestConfig, name: &str, strat: &S, pats: &str, mut case: C)
+where
+    S: Strategy,
+    C: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    run(cfg, name, |rng| {
+        let value = strat.sample(rng)?;
+        match case(value.clone()) {
+            Ok(()) => Ok(()),
+            Err(TestCaseError::Reject(r)) => Err(TestCaseError::Reject(r)),
+            Err(TestCaseError::Fail(msg)) => {
+                let (min, steps, msg) = shrink_failure(strat, value, msg, &mut case);
+                Err(TestCaseError::Fail(format!(
+                    "{msg}\nminimal failing input ({steps} shrink steps): {pats} = {min:?}"
+                )))
+            }
+        }
+    });
 }
 
 /// Drive `case` until `effective_cases` successes, panicking on the
@@ -100,6 +161,47 @@ mod tests {
         run(&ProptestConfig::with_cases(5), "fails", |_| {
             Err(TestCaseError::fail("boom"))
         });
+    }
+
+    #[test]
+    fn shrinks_int_to_failure_boundary() {
+        let strat = 0u32..1000;
+        let mut case = |v: u32| {
+            if v >= 113 {
+                Err(TestCaseError::fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, steps, msg) = shrink_failure(&strat, 877, "877 too big".into(), &mut case);
+        assert_eq!(min, 113);
+        assert!(steps > 0);
+        assert_eq!(msg, "113 too big");
+    }
+
+    #[test]
+    fn shrinks_vec_to_single_minimal_offender() {
+        let strat = crate::collection::vec(0u8..=255, 0usize..=20);
+        let mut case = |v: Vec<u8>| {
+            if v.iter().any(|&x| x >= 10) {
+                Err(TestCaseError::fail("offender"))
+            } else {
+                Ok(())
+            }
+        };
+        let start = vec![3, 200, 7, 45];
+        let (min, steps, _) = shrink_failure(&strat, start, "offender".into(), &mut case);
+        assert_eq!(min, vec![10]);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn already_minimal_value_takes_no_steps() {
+        let strat = 5u32..100;
+        let mut case = |_| Err(TestCaseError::fail("always"));
+        let (min, steps, _) = shrink_failure(&strat, 5, "always".into(), &mut case);
+        assert_eq!(min, 5);
+        assert_eq!(steps, 0);
     }
 
     #[test]

@@ -41,7 +41,11 @@ fn calibration_transfers_across_fields() {
 fn prediction_overhead_below_budget() {
     // The whole design rests on prediction being cheap relative to
     // compression ([25]: < 10 %). Allow 25 % in CI noise conditions.
-    let side = 32;
+    // The grid must be large enough that the requested 5 % fraction
+    // binds (i.e. > 4 × MIN_SAMPLE_POINTS): at or below that the
+    // sampling floor deliberately covers more points, which is the
+    // small-partition accuracy trade, not the overhead claim under test.
+    let side = 64;
     let f = nyx::single_field(NyxParams::with_side(side), "dark_matter_density");
     let dims = Dims::d3(side, side, side);
     let cfg = Config::rel(1e-3);

@@ -89,6 +89,22 @@ fn rtm_tiles_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn env_selected_worker_count_is_byte_identical() {
+    // CI re-runs this suite under SZ_THREADS={1,2,8}: this test routes
+    // the env-selected worker count (the path real callers hit via
+    // `workers_from_env` / `RealConfig::sz_threads = 0`) through the
+    // same byte-identity contract the fixed-count tests pin.
+    let workers = repro_suite::h5lite::workers_from_env();
+    let ds = nyx::snapshot(NyxParams::with_side(32));
+    let field = ds.field("velocity_x").unwrap();
+    let spec = sz_spec("nyx/velocity_x", &[32, 32, 32], &[16, 16, 16], 1e-2);
+    let bytes = f32_bytes(&field.data);
+    let serial = write_serial("det-env-serial", &spec, &bytes);
+    let parallel = write_pipelined("det-env", &spec, &bytes, workers);
+    assert_eq!(parallel, serial, "SZ_THREADS-selected workers={workers}");
+}
+
+#[test]
 fn multi_stage_chain_byte_identical_across_worker_counts() {
     // Shuffle → LZSS exercises the inter-stage scratch ping-pong, on a
     // ragged chunk grid (the last tile is clipped to 416 elements).
