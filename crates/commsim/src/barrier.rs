@@ -7,12 +7,28 @@
 
 use parking_lot::{Condvar, Mutex};
 
+/// A collective was abandoned because a participant poisoned the
+/// barrier (it hit a fatal error and can never arrive). Waiters must
+/// unwind instead of blocking forever on the missing participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
+impl std::fmt::Display for BarrierPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "barrier poisoned: a participant failed")
+    }
+}
+
+impl std::error::Error for BarrierPoisoned {}
+
 #[derive(Debug)]
 struct State {
     /// Threads still expected in the current generation.
     remaining: usize,
     /// Completed generations.
     generation: u64,
+    /// Sticky flag: a participant died and will never arrive.
+    poisoned: bool,
 }
 
 /// A reusable barrier for a fixed number of participants.
@@ -32,6 +48,7 @@ impl Barrier {
             state: Mutex::new(State {
                 remaining: n,
                 generation: 0,
+                poisoned: false,
             }),
             cvar: Condvar::new(),
         }
@@ -39,21 +56,57 @@ impl Barrier {
 
     /// Block until all `n` participants have called `wait`.
     /// Returns the generation index that was completed.
+    ///
+    /// Panics if the barrier is (or becomes) poisoned; callers that
+    /// can observe a poisoned world should use [`Barrier::wait_checked`].
     pub fn wait(&self) -> u64 {
+        self.wait_checked()
+            .expect("collective on a poisoned world; use wait_checked on fallible paths")
+    }
+
+    /// Block until all `n` participants have called `wait_checked`, or
+    /// until the barrier is poisoned — whichever happens first.
+    ///
+    /// A generation that completed before the poison still reports
+    /// `Ok`: every participant arrived, so the exchanged data is whole.
+    pub fn wait_checked(&self) -> Result<u64, BarrierPoisoned> {
         let mut st = self.state.lock();
+        if st.poisoned {
+            return Err(BarrierPoisoned);
+        }
         let gen = st.generation;
         st.remaining -= 1;
         if st.remaining == 0 {
             st.remaining = self.n;
             st.generation += 1;
             self.cvar.notify_all();
-            gen
+            Ok(gen)
         } else {
-            while st.generation == gen {
+            while st.generation == gen && !st.poisoned {
                 self.cvar.wait(&mut st);
             }
-            gen
+            if st.generation == gen {
+                // Poisoned before the last participant arrived.
+                Err(BarrierPoisoned)
+            } else {
+                Ok(gen)
+            }
         }
+    }
+
+    /// Mark the barrier as permanently failed and release every
+    /// current and future waiter with [`BarrierPoisoned`]. Called by a
+    /// participant that hit a fatal error and will never arrive again.
+    /// Idempotent.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cvar.notify_all();
+    }
+
+    /// Whether the barrier has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
     }
 
     /// Number of participants.
@@ -97,6 +150,45 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::SeqCst), 50 * n);
+    }
+
+    #[test]
+    fn poison_releases_blocked_waiters() {
+        let b = Arc::new(Barrier::new(3));
+        std::thread::scope(|s| {
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || b.wait_checked())
+                })
+                .collect();
+            // Give the two waiters time to park, then poison instead
+            // of arriving as the third participant.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            b.poison();
+            for w in waiters {
+                assert_eq!(w.join().unwrap(), Err(BarrierPoisoned));
+            }
+        });
+        assert!(b.is_poisoned());
+        // Poison is sticky: later arrivals fail immediately.
+        assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    fn completed_generation_reports_ok_despite_later_poison() {
+        let b = Barrier::new(1);
+        assert_eq!(b.wait_checked(), Ok(0));
+        b.poison();
+        assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn infallible_wait_panics_on_poison() {
+        let b = Barrier::new(2);
+        b.poison();
+        b.wait();
     }
 
     #[test]

@@ -10,13 +10,33 @@
 //! needs (notably the all-gather of predicted compression ratios and
 //! of overflow sizes) without an MPI installation.
 
-use crate::barrier::Barrier;
+use crate::barrier::{Barrier, BarrierPoisoned};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 type Payload = Box<dyn Any + Send>;
+
+/// A collective was abandoned because some rank [`Rank::poison`]ed the
+/// world: it hit a fatal error and will never participate again, so
+/// waiting for it would deadlock the surviving ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldPoisoned;
+
+impl std::fmt::Display for WorldPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "collective aborted: a peer rank failed")
+    }
+}
+
+impl std::error::Error for WorldPoisoned {}
+
+impl From<BarrierPoisoned> for WorldPoisoned {
+    fn from(_: BarrierPoisoned) -> Self {
+        WorldPoisoned
+    }
+}
 
 /// A tagged point-to-point message.
 struct Message {
@@ -117,6 +137,49 @@ impl Rank {
     /// Synchronize all ranks.
     pub fn barrier(&self) {
         self.shared.barrier.wait();
+    }
+
+    /// Mark this world as failed: every rank currently blocked in a
+    /// collective (and every future collective attempt through the
+    /// `try_*` variants) unblocks with [`WorldPoisoned`] instead of
+    /// waiting forever for this rank. Call before abandoning the rank
+    /// closure on an error path. Idempotent.
+    pub fn poison(&self) {
+        self.shared.barrier.poison();
+    }
+
+    /// Whether some rank has poisoned the world.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.barrier.is_poisoned()
+    }
+
+    /// Fallible [`Rank::barrier`]: unblocks with [`WorldPoisoned`] if
+    /// a peer poisons the world instead of arriving.
+    pub fn try_barrier(&self) -> Result<(), WorldPoisoned> {
+        self.shared.barrier.wait_checked()?;
+        Ok(())
+    }
+
+    /// Fallible [`Rank::all_gather`]: unblocks with [`WorldPoisoned`]
+    /// if a peer poisons the world instead of contributing.
+    pub fn try_all_gather<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Vec<T>, WorldPoisoned> {
+        *self.shared.slots[self.rank].lock() = Some(Box::new(value));
+        self.shared.barrier.wait_checked()?;
+        let out: Vec<T> = (0..self.shared.n)
+            .map(|r| {
+                let slot = self.shared.slots[r].lock();
+                slot.as_ref()
+                    .expect("missing contribution")
+                    .downcast_ref::<T>()
+                    .expect("type mismatch in try_all_gather")
+                    .clone()
+            })
+            .collect();
+        self.shared.barrier.wait_checked()?;
+        Ok(out)
     }
 
     /// All-gather: every rank contributes `value`; returns the values
@@ -236,6 +299,40 @@ impl Rank {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poisoned_world_unblocks_collectives() {
+        let out = run_world(4, |rk| {
+            if rk.rank() == 3 {
+                // Simulate a rank dying before its collective: give
+                // the peers time to park, then poison and bail.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                rk.poison();
+                Err("rank 3 failed".to_string())
+            } else {
+                rk.try_all_gather(rk.rank())
+                    .map(|v| v.len())
+                    .map_err(|e| e.to_string())
+            }
+        });
+        assert_eq!(out[3], Err("rank 3 failed".to_string()));
+        for survivor in &out[..3] {
+            assert_eq!(
+                *survivor,
+                Err("collective aborted: a peer rank failed".to_string())
+            );
+        }
+    }
+
+    #[test]
+    fn try_collectives_match_infallible_on_healthy_world() {
+        run_world(4, |rk| {
+            let v = rk.try_all_gather(rk.rank() * 2).unwrap();
+            assert_eq!(v, vec![0, 2, 4, 6]);
+            rk.try_barrier().unwrap();
+            assert!(!rk.is_poisoned());
+        });
+    }
 
     #[test]
     fn all_gather_orders_by_rank() {

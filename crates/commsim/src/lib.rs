@@ -20,5 +20,5 @@
 pub mod barrier;
 pub mod communicator;
 
-pub use barrier::Barrier;
-pub use communicator::{run_world, Rank, World};
+pub use barrier::{Barrier, BarrierPoisoned};
+pub use communicator::{run_world, Rank, World, WorldPoisoned};

@@ -19,10 +19,10 @@ use crate::plan::{fit_split, plan_overflow, PartitionPrediction, WritePlan};
 use crate::scheduler::{identity_order, optimize_order};
 use commsim::World;
 use h5lite::{
-    ordered_fanout, workers_from_env_or, AttrValue, BufferPool, DatasetSpec, Dtype, EventSet,
-    FilterSpec, H5File, SzFilterParams, SZLITE_FILTER_ID,
+    crc32c, ordered_fanout, workers_from_env_or, AttrValue, BufferPool, DatasetSpec, Dtype,
+    EventSet, FilterSpec, H5File, SzFilterParams, SZLITE_FILTER_ID,
 };
-use pfsim::{BandwidthModel, Throttle};
+use pfsim::{BandwidthModel, FaultFs, Throttle};
 use ratiomodel::Models;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -69,6 +69,9 @@ pub struct RealConfig {
     /// timed separately ([`Breakdown::verify`]) and a violation fails
     /// the run.
     pub verify: bool,
+    /// Fault-injection harness attached to the output file for the
+    /// whole run (crash-recovery tests/benches); `None` in production.
+    pub faults: Option<Arc<FaultFs>>,
     /// Output file path.
     pub path: PathBuf,
 }
@@ -265,8 +268,13 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
         return Err(RealError("need one Config per field".into()));
     }
 
-    // Create the shared file and one chunked dataset per field.
+    // Create the shared file and one chunked dataset per field. The
+    // fault harness attaches after the superblock reservation, so its
+    // op 0 is the run's first chunk write.
     let file = H5File::create(&cfg.path)?;
+    if let Some(fs) = &cfg.faults {
+        file.shared_file().set_faults(Some(Arc::clone(fs)));
+    }
     let mut dataset_ids = Vec::with_capacity(nfields);
     for f in 0..nfields {
         let part_points = data[0][f].data.len() as u64;
@@ -339,6 +347,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                             bytes.extend_from_slice(&v.to_le_bytes());
                         }
                         let len = bytes.len() as u64;
+                        let crc = crc32c(&bytes);
                         es.write_at_recycled(
                             file.shared_file(),
                             plan.slots[r][f].offset,
@@ -353,6 +362,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                                 offset: plan.slots[r][f].offset,
                                 stored: len,
                                 raw: len,
+                                crc,
                             },
                         )
                         .map_err(|e| e.to_string())?;
@@ -390,7 +400,8 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                     // All-gather the actual sizes.
                     let ta = Instant::now();
                     let my_sizes: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
-                    let all_sizes: Vec<Vec<u64>> = rk.all_gather(my_sizes);
+                    let all_sizes: Vec<Vec<u64>> =
+                        rk.try_all_gather(my_sizes).map_err(|e| e.to_string())?;
                     out.allgather = ta.elapsed().as_secs_f64();
                     let preds: Vec<Vec<PartitionPrediction>> = all_sizes
                         .iter()
@@ -407,7 +418,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                     // Collective write: one synchronized round per field.
                     let tw = Instant::now();
                     for f in 0..nfields {
-                        rk.barrier();
+                        rk.try_barrier().map_err(|e| e.to_string())?;
                         throttle.acquire(streams[f].len() as u64);
                         file.shared_file()
                             .write_at(plan.slots[r][f].offset, &streams[f])
@@ -419,10 +430,11 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                                 offset: plan.slots[r][f].offset,
                                 stored: streams[f].len() as u64,
                                 raw: (data[r][f].data.len() * 4) as u64,
+                                crc: crc32c(&streams[f]),
                             },
                         )
                         .map_err(|e| e.to_string())?;
-                        rk.barrier();
+                        rk.try_barrier().map_err(|e| e.to_string())?;
                         let len = streams[f].len() as u64;
                         out.fields[f] = FieldObservation {
                             predicted: len,
@@ -461,7 +473,8 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                         .iter()
                         .map(|e| (e.bytes, e.ratio, e.headroom.unwrap_or(-1.0)))
                         .collect();
-                    let gathered: Vec<Vec<(u64, f64, f64)>> = rk.all_gather(wire);
+                    let gathered: Vec<Vec<(u64, f64, f64)>> =
+                        rk.try_all_gather(wire).map_err(|e| e.to_string())?;
                     out.allgather = ta.elapsed().as_secs_f64();
 
                     // Phase 3: identical layout on every rank. Ranks
@@ -540,6 +553,11 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                             out.fields[f].reserved = slot.reserved;
                             let split = fit_split(stream.len() as u64, slot.reserved);
                             let tail = stream.split_off(split.in_slot as usize);
+                            // Checksum before the async queue takes the
+                            // buffer: the recorded CRC reflects the
+                            // intended bytes, so anything injected en
+                            // route is detectable on read.
+                            let crc = crc32c(&stream);
                             es.write_at_recycled(
                                 file.shared_file(),
                                 slot.offset,
@@ -554,6 +572,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                                     offset: slot.offset,
                                     stored: split.in_slot,
                                     raw: (data[r][f].data.len() * 4) as u64,
+                                    crc,
                                 },
                             )
                             .map_err(|e| e.to_string())?;
@@ -582,7 +601,8 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                         my_ovf[*f] = bytes.len() as u64;
                         out.fields[*f].overflow = bytes.len() as u64;
                     }
-                    let all_ovf: Vec<Vec<u64>> = rk.all_gather(my_ovf);
+                    let all_ovf: Vec<Vec<u64>> =
+                        rk.try_all_gather(my_ovf).map_err(|e| e.to_string())?;
                     let any_overflow = all_ovf.iter().flatten().any(|&b| b > 0);
                     if any_overflow {
                         let offsets = plan_overflow(&all_ovf, plan.data_end);
@@ -598,24 +618,47 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                                     offset: offsets[r][f],
                                     stored: bytes.len() as u64,
                                     raw: 0,
+                                    crc: crc32c(&bytes),
                                 },
                             )
                             .map_err(|e| e.to_string())?;
                             pool.put(bytes);
                         }
                     }
-                    rk.barrier();
+                    rk.try_barrier().map_err(|e| e.to_string())?;
                     out.overflow = to.elapsed().as_secs_f64();
                     if r == 0 {
-                        file.shared_file().advance_tail_to(plan.data_end);
+                        file.shared_file()
+                            .advance_tail_to(plan.data_end)
+                            .map_err(|e| e.to_string())?;
                     }
                 }
             }
             out.total = t0.elapsed().as_secs_f64();
             Ok(out)
         };
-        run()
+        let res = run();
+        if res.is_err() {
+            // This rank can no longer reach its collectives; without
+            // the poison, surviving ranks would block forever in
+            // barrier/all_gather waiting for it (e.g. after an
+            // injected torn write fails one rank mid-step).
+            rk.poison();
+        }
+        res
     });
+
+    // A poisoned collective is a symptom; report the rank error that
+    // caused it when one exists.
+    if outcomes.iter().any(|o| o.is_err()) {
+        let errs: Vec<&String> = outcomes.iter().filter_map(|o| o.as_ref().err()).collect();
+        let peer_failed = commsim::WorldPoisoned.to_string();
+        let root = errs
+            .iter()
+            .find(|e| !e.contains(&peer_failed))
+            .unwrap_or(&errs[0]);
+        return Err(RealError((*root).clone()));
+    }
 
     let mut agg = RankOutcome::default();
     let mut observations: RunObservations = Vec::with_capacity(nranks);

@@ -49,6 +49,7 @@ fn config(method: Method, path: PathBuf) -> RealConfig {
         sz_threads: 1,
         verify: false,
         path,
+        faults: None,
     }
 }
 

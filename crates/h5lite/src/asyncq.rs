@@ -6,7 +6,7 @@
 //! [`EventSet`] mirrors the H5ES API: operations are enqueued, execute
 //! on worker threads, and `wait()` blocks until everything completes.
 
-use crate::error::{H5Error, Result};
+use crate::error::{AsyncWriteFailure, H5Error, Result};
 use crate::pool::BufferPool;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -26,7 +26,10 @@ struct Op {
 struct Pending {
     count: Mutex<usize>,
     cv: Condvar,
-    errors: Mutex<Vec<String>>,
+    /// Failed writes, typed; drained by [`EventSet::wait`]. A failure
+    /// never panics the worker — the queue keeps draining so `wait()`
+    /// cannot hang on a poisoned pipeline.
+    errors: Mutex<Vec<AsyncWriteFailure>>,
 }
 
 /// An asynchronous write queue backed by worker threads.
@@ -66,7 +69,11 @@ impl EventSet {
                             t.acquire(data.len() as u64);
                         }
                         if let Err(e) = file.write_at(offset, &data) {
-                            pending.errors.lock().push(e.to_string());
+                            pending.errors.lock().push(AsyncWriteFailure {
+                                offset,
+                                len: data.len() as u64,
+                                error: e,
+                            });
                         }
                         if let Some(pool) = recycle {
                             pool.put(data);
@@ -135,17 +142,32 @@ impl EventSet {
         recycle: Option<Arc<BufferPool>>,
     ) {
         *self.pending.count.lock() += 1;
-        self.tx
-            .as_ref()
-            .expect("event set shut down")
-            .send(Op {
-                file: file.clone(),
-                offset,
-                data,
-                throttle,
-                recycle,
-            })
-            .expect("event set workers gone");
+        let send = self.tx.as_ref().expect("event set shut down").send(Op {
+            file: file.clone(),
+            offset,
+            data,
+            throttle,
+            recycle,
+        });
+        if let Err(e) = send {
+            // Workers are gone (all panicked/joined): record a typed
+            // failure instead of panicking the producer, and undo the
+            // pending count so wait() still terminates.
+            let op = e.into_inner();
+            self.pending.errors.lock().push(AsyncWriteFailure {
+                offset: op.offset,
+                len: op.data.len() as u64,
+                error: std::io::Error::other("event set workers gone"),
+            });
+            if let Some(pool) = op.recycle {
+                pool.put(op.data);
+            }
+            let mut c = self.pending.count.lock();
+            *c -= 1;
+            if *c == 0 {
+                self.pending.cv.notify_all();
+            }
+        }
     }
 
     /// Number of operations not yet completed.
@@ -154,20 +176,20 @@ impl EventSet {
     }
 
     /// Block until all enqueued operations complete (H5ESwait).
+    /// Failed writes surface here as [`H5Error::AsyncWrites`], typed
+    /// with each op's offset/length — the flush/close point is where
+    /// HDF5's async VOL reports errors too.
     pub fn wait(&self) -> Result<()> {
         let mut c = self.pending.count.lock();
         while *c > 0 {
             self.pending.cv.wait(&mut c);
         }
         drop(c);
-        let errs = self.pending.errors.lock();
+        let errs = std::mem::take(&mut *self.pending.errors.lock());
         if errs.is_empty() {
             Ok(())
         } else {
-            Err(H5Error::Filter(format!(
-                "async write failures: {}",
-                errs.join("; ")
-            )))
+            Err(H5Error::AsyncWrites(errs))
         }
     }
 }
@@ -237,6 +259,49 @@ mod tests {
             total > 0.1,
             "throttled write should take ≥ 0.15 s, took {total}"
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_write_failures_surface_at_wait_without_hanging() {
+        use pfsim::{Fault, FaultFs, FaultPlan};
+        // A torn write crashes the simulated process: the op it hits
+        // fails permanently and so does everything after it. All of
+        // that must drain (no hang), be recorded typed, and surface
+        // at wait() — never panic a worker.
+        let path = tmp("faulty");
+        let f = SharedFile::create(&path).unwrap();
+        f.set_faults(Some(FaultFs::new(
+            FaultPlan::new().on_write(2, Fault::TornWrite { keep: 1 }),
+        )));
+        let es = EventSet::new(1);
+        for i in 0..6u64 {
+            es.write_at(&f, i * 8, vec![i as u8; 8], None);
+        }
+        let err = es.wait().unwrap_err();
+        match err {
+            H5Error::AsyncWrites(fails) => {
+                // Ops 0 and 1 land, op 2 is torn, ops 3..6 observe the
+                // crash: 4 typed failures (delivery order of the
+                // channel decides *which* offsets those are).
+                assert_eq!(fails.len(), 4, "{fails:?}");
+                assert!(fails.iter().all(|w| w.len == 8));
+                assert!(
+                    fails.iter().all(|w| matches!(
+                        pfsim::FaultError::from_io(&w.error),
+                        Some(pfsim::FaultError::Crashed { .. })
+                    )),
+                    "{fails:?}"
+                );
+            }
+            other => panic!("expected AsyncWrites, got {other:?}"),
+        }
+        assert_eq!(es.in_flight(), 0);
+        // The queue stays usable: errors were drained, and with the
+        // harness detached a later write round succeeds.
+        f.set_faults(None);
+        es.write_at(&f, 0, vec![9; 8], None);
+        es.wait().unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 

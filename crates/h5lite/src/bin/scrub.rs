@@ -1,0 +1,116 @@
+//! Command-line container scrub.
+//!
+//! ```text
+//! scrub <container> [--repair <replica>] [--quarantine]
+//! ```
+//!
+//! Walks the container, prints a damage map, and exits 0 when clean,
+//! 1 when damaged, 2 on usage/I/O errors. `--repair` heals damaged
+//! chunks from a replica container (bytes are verified against the
+//! target's recorded CRCs before being written). `--quarantine`
+//! renames a container with container-level damage (torn or corrupt
+//! superblock/table) to `<name>.quarantined`.
+
+use h5lite::scrub::{quarantine, repair_from_replica, scrub, ChunkState, ContainerState};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: scrub <container> [--repair <replica>] [--quarantine]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut replica = None;
+    let mut do_quarantine = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--repair" => {
+                i += 1;
+                match args.get(i) {
+                    Some(r) => replica = Some(r.clone()),
+                    None => return usage(),
+                }
+            }
+            "--quarantine" => do_quarantine = true,
+            a if path.is_none() && !a.starts_with('-') => path = Some(a.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(path) = path else { return usage() };
+
+    let report = match scrub(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scrub {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match &report.container {
+        ContainerState::Ok => {
+            let label = if report.verified {
+                "verified"
+            } else {
+                "v1, bounds-checked only"
+            };
+            println!(
+                "{path}: container ok ({label}), {} chunk record(s)",
+                report.chunks.len()
+            );
+        }
+        state => println!("{path}: container damaged: {state:?}"),
+    }
+    for c in report.damaged() {
+        match c.state {
+            ChunkState::Corrupt { expected, actual } => println!(
+                "  corrupt   {}[{}] record {} at offset {} ({} bytes): recorded {expected:#010x}, read {actual:#010x}",
+                c.dataset, c.index, c.record, c.offset, c.stored
+            ),
+            ChunkState::Truncated => println!(
+                "  truncated {}[{}] record {} at offset {} ({} bytes past end of file)",
+                c.dataset, c.index, c.record, c.offset, c.stored
+            ),
+            ChunkState::Ok => {}
+        }
+    }
+
+    if report.container != ContainerState::Ok {
+        if do_quarantine {
+            match quarantine(&path) {
+                Ok(dest) => println!("quarantined to {}", dest.display()),
+                Err(e) => {
+                    eprintln!("quarantine {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        return ExitCode::from(1);
+    }
+
+    if report.is_clean() {
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(replica) = replica {
+        match repair_from_replica(&path, &replica) {
+            Ok(rep) => {
+                println!(
+                    "repair from {replica}: {} repaired, {} unrepairable",
+                    rep.repaired, rep.unrepairable
+                );
+                if rep.unrepairable == 0 {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => {
+                eprintln!("repair {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::from(1)
+}

@@ -2,6 +2,28 @@
 
 use std::fmt;
 
+/// One failed asynchronous write, surfaced at
+/// [`EventSet::wait`](crate::EventSet::wait).
+#[derive(Debug)]
+pub struct AsyncWriteFailure {
+    /// Absolute file offset the write targeted.
+    pub offset: u64,
+    /// Length of the payload that failed to land.
+    pub len: u64,
+    /// The underlying I/O error.
+    pub error: std::io::Error,
+}
+
+impl fmt::Display for AsyncWriteFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "write of {} bytes at offset {}: {}",
+            self.len, self.offset, self.error
+        )
+    }
+}
+
 /// Errors from reading or writing an h5lite container.
 #[derive(Debug)]
 pub enum H5Error {
@@ -15,6 +37,22 @@ pub enum H5Error {
     Truncated(&'static str),
     /// Structurally invalid content.
     Corrupt(&'static str),
+    /// Stored bytes fail their recorded CRC32C — bit rot or a torn
+    /// write; the data is never silently decoded.
+    ChecksumMismatch {
+        /// What was being verified ("chunk", "metadata table", ...).
+        context: &'static str,
+        /// Absolute file offset of the checked extent.
+        offset: u64,
+        /// Checksum recorded in the metadata.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
+    /// One or more asynchronous writes failed; collected typed at
+    /// [`EventSet::wait`](crate::EventSet::wait) instead of panicking
+    /// the worker threads.
+    AsyncWrites(Vec<AsyncWriteFailure>),
     /// Dataset name not found.
     NoSuchDataset(String),
     /// Dataset already exists.
@@ -37,6 +75,26 @@ impl fmt::Display for H5Error {
             H5Error::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             H5Error::Truncated(s) => write!(f, "truncated while reading {s}"),
             H5Error::Corrupt(s) => write!(f, "corrupt section: {s}"),
+            H5Error::ChecksumMismatch {
+                context,
+                offset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {context} at offset {offset}: \
+                 recorded {expected:#010x}, read {actual:#010x}"
+            ),
+            H5Error::AsyncWrites(fails) => {
+                write!(f, "{} async write failure(s): ", fails.len())?;
+                for (i, w) in fails.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                Ok(())
+            }
             H5Error::NoSuchDataset(n) => write!(f, "no such dataset: {n}"),
             H5Error::DuplicateDataset(n) => write!(f, "dataset already exists: {n}"),
             H5Error::UnknownFilter(id) => write!(f, "unknown filter id {id}"),

@@ -8,10 +8,12 @@
 
 use crate::asyncq::EventSet;
 use crate::chunk::{gather_tile_into, scatter_tile};
+use crate::crc::crc32c;
 use crate::error::{H5Error, Result};
 use crate::filter::{FilterRegistry, FilterScratch};
 use crate::meta::{
-    deserialize_table, serialize_table, AttrValue, ChunkInfo, DatasetMeta, Dtype, FilterSpec,
+    deserialize_table, deserialize_table_v1, serialize_table, AttrValue, ChunkInfo, DatasetMeta,
+    Dtype, FilterSpec,
 };
 use crate::pipeline::{compress_chunks, ordered_fanout};
 use crate::pool::BufferPool;
@@ -24,10 +26,88 @@ use szlite::Element;
 
 /// File magic "H5LT".
 pub const MAGIC: u32 = 0x544C3548;
-/// Format version.
-pub const VERSION: u8 = 1;
+/// Format version written by this crate. Version 1 files (no
+/// checksums) still open; their reads go unverified.
+pub const VERSION: u8 = 2;
+/// Oldest format version this crate still reads.
+pub const MIN_VERSION: u8 = 1;
+/// Superblock flag bit: chunk records carry CRC32C checksums.
+pub const FLAG_CHUNK_CRC: u8 = 1;
 /// Reserved superblock size at offset 0.
 pub const SUPERBLOCK: u64 = 32;
+
+/// Parsed v2 superblock fields shared by the reader and the scrub
+/// pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Superblock {
+    pub version: u8,
+    pub flags: u8,
+    pub table_offset: u64,
+    pub table_len: u64,
+    /// CRC32C of the metadata table (v2; 0 in v1 files).
+    pub table_crc: u32,
+}
+
+impl Superblock {
+    /// True when chunk records carry verified checksums.
+    pub fn checksummed(&self) -> bool {
+        self.version >= 2 && self.flags & FLAG_CHUNK_CRC != 0
+    }
+
+    /// Parse and self-validate a raw superblock. The v2 trailer CRC
+    /// covers bytes 0..28, so a torn superblock rewrite is caught
+    /// here rather than as a garbage table offset.
+    pub fn parse(sb: &[u8; SUPERBLOCK as usize]) -> Result<Self> {
+        let magic = u32::from_le_bytes(sb[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(H5Error::BadMagic);
+        }
+        let version = sb[4];
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(H5Error::UnsupportedVersion(version));
+        }
+        let flags = sb[5];
+        let table_offset = u64::from_le_bytes(sb[8..16].try_into().unwrap());
+        let table_len = u64::from_le_bytes(sb[16..24].try_into().unwrap());
+        let mut table_crc = 0;
+        if version >= 2 {
+            table_crc = u32::from_le_bytes(sb[24..28].try_into().unwrap());
+            let recorded = u32::from_le_bytes(sb[28..32].try_into().unwrap());
+            let actual = crc32c(&sb[0..28]);
+            if recorded != actual {
+                return Err(H5Error::ChecksumMismatch {
+                    context: "superblock",
+                    offset: 0,
+                    expected: recorded,
+                    actual,
+                });
+            }
+        }
+        Ok(Superblock {
+            version,
+            flags,
+            table_offset,
+            table_len,
+            table_crc,
+        })
+    }
+
+    /// Encode a v2 superblock (with trailer CRC) for `close()`.
+    pub fn encode_v2(table_offset: u64, table_len: u64, table_crc: u32) -> Vec<u8> {
+        let mut sb = Vec::with_capacity(SUPERBLOCK as usize);
+        sb.extend_from_slice(&MAGIC.to_le_bytes());
+        sb.push(VERSION);
+        sb.push(FLAG_CHUNK_CRC);
+        sb.extend_from_slice(&[0u8; 2]);
+        sb.extend_from_slice(&table_offset.to_le_bytes());
+        sb.extend_from_slice(&table_len.to_le_bytes());
+        sb.extend_from_slice(&table_crc.to_le_bytes());
+        let crc = crc32c(&sb);
+        sb.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(sb.len() as u64, SUPERBLOCK);
+        sb
+    }
+}
 
 /// Handle to a dataset within an open writer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +174,8 @@ impl H5File {
     pub fn create(path: impl AsRef<Path>) -> Result<Self> {
         let file = SharedFile::create(path)?;
         file.write_at(0, &[0u8; SUPERBLOCK as usize])?;
-        file.advance_tail_to(SUPERBLOCK);
+        file.advance_tail_to(SUPERBLOCK)
+            .map_err(std::io::Error::from)?;
         Ok(H5File {
             inner: Arc::new(Inner {
                 file,
@@ -111,7 +192,8 @@ impl H5File {
     pub fn from_shared(file: SharedFile) -> Result<Self> {
         if file.tail() < SUPERBLOCK {
             file.write_at(0, &[0u8; SUPERBLOCK as usize])?;
-            file.advance_tail_to(SUPERBLOCK);
+            file.advance_tail_to(SUPERBLOCK)
+                .map_err(std::io::Error::from)?;
         }
         Ok(H5File {
             inner: Arc::new(Inner {
@@ -221,6 +303,7 @@ impl H5File {
                             offset,
                             stored: stored.len() as u64,
                             raw: data.len() as u64,
+                            crc: crc32c(&stored),
                         },
                     )?;
                 }
@@ -248,6 +331,7 @@ impl H5File {
                                 offset,
                                 stored: stored.len() as u64,
                                 raw,
+                                crc: crc32c(&stored),
                             },
                         )?;
                     }
@@ -305,6 +389,11 @@ impl H5File {
             &self.inner.pool,
             |c, stored, raw| {
                 let len = stored.len() as u64;
+                // Checksum before the buffer is handed to the async
+                // queue: the recorded CRC always reflects the bytes
+                // the writer intended, so a fault between here and the
+                // platter is detectable on read.
+                let crc = crc32c(&stored);
                 let offset = self.inner.file.reserve(len);
                 events.write_at_recycled(
                     &self.inner.file,
@@ -320,6 +409,7 @@ impl H5File {
                         offset,
                         stored: len,
                         raw,
+                        crc,
                     },
                 )
             },
@@ -346,6 +436,7 @@ impl H5File {
                 offset,
                 stored: stored.len() as u64,
                 raw: raw_len,
+                crc: crc32c(stored),
             },
         )
     }
@@ -383,21 +474,21 @@ impl H5File {
         };
         let table_offset = self.inner.file.reserve(table.len() as u64);
         self.inner.file.write_at(table_offset, &table)?;
-        let mut sb = Vec::with_capacity(SUPERBLOCK as usize);
-        sb.extend_from_slice(&MAGIC.to_le_bytes());
-        sb.push(VERSION);
-        sb.extend_from_slice(&[0u8; 3]);
-        sb.extend_from_slice(&table_offset.to_le_bytes());
-        sb.extend_from_slice(&(table.len() as u64).to_le_bytes());
-        sb.resize(SUPERBLOCK as usize, 0);
+        // Sync data (chunks + table) before publishing the superblock:
+        // a crash between the two leaves the zeroed create-time
+        // superblock in place, which recovery classifies as a torn
+        // step rather than trusting a pointer to unsynced bytes.
+        self.inner.file.sync()?;
+        let sb = Superblock::encode_v2(table_offset, table.len() as u64, crc32c(&table));
         self.inner.file.write_at(0, &sb)?;
         self.inner.file.sync()?;
         Ok(())
     }
 }
 
-/// The stored `(offset, len)` extents of one chunk, in record order.
-type ChunkSegments = Vec<(u64, u64)>;
+/// The stored `(offset, len, crc)` extents of one chunk, in record
+/// order (`crc` is 0 for unchecksummed v1 files).
+type ChunkSegments = Vec<(u64, u64, u32)>;
 
 /// Read-only h5lite container.
 pub struct H5Reader {
@@ -407,6 +498,11 @@ pub struct H5Reader {
     /// Recycles decoded-tile buffers between the reader worker pool
     /// and the reassembly sink, across every read of the file.
     pool: BufferPool,
+    /// Chunk records carry CRC32C checksums verified on every read
+    /// (format v2 with [`FLAG_CHUNK_CRC`]).
+    checksummed: bool,
+    /// Physical file length at open, for cheap truncation checks.
+    flen: u64,
 }
 
 impl H5Reader {
@@ -416,29 +512,50 @@ impl H5Reader {
         let mut sb = [0u8; SUPERBLOCK as usize];
         file.read_at(0, &mut sb)
             .map_err(|_| H5Error::Truncated("superblock"))?;
-        let magic = u32::from_le_bytes(sb[0..4].try_into().unwrap());
-        if magic != MAGIC {
-            return Err(H5Error::BadMagic);
-        }
-        let version = sb[4];
-        if version != VERSION {
-            return Err(H5Error::UnsupportedVersion(version));
-        }
-        let table_offset = u64::from_le_bytes(sb[8..16].try_into().unwrap());
-        let table_len = u64::from_le_bytes(sb[16..24].try_into().unwrap());
+        let sb = Superblock::parse(&sb)?;
         let flen = file.len()?;
-        if table_offset + table_len > flen {
+        if sb.table_offset.checked_add(sb.table_len).is_none()
+            || sb.table_offset + sb.table_len > flen
+        {
             return Err(H5Error::Truncated("metadata table"));
         }
-        let mut table = vec![0u8; table_len as usize];
-        file.read_at(table_offset, &mut table)?;
-        let datasets = deserialize_table(&table)?;
+        let mut table = vec![0u8; sb.table_len as usize];
+        file.read_at(sb.table_offset, &mut table)?;
+        if sb.version >= 2 {
+            let actual = crc32c(&table);
+            if actual != sb.table_crc {
+                return Err(H5Error::ChecksumMismatch {
+                    context: "metadata table",
+                    offset: sb.table_offset,
+                    expected: sb.table_crc,
+                    actual,
+                });
+            }
+        }
+        let datasets = if sb.version >= 2 {
+            deserialize_table(&table)?
+        } else {
+            deserialize_table_v1(&table)?
+        };
         Ok(H5Reader {
             file,
             datasets,
             registry: FilterRegistry::default(),
             pool: BufferPool::new(),
+            checksummed: sb.checksummed(),
+            flen,
         })
+    }
+
+    /// Whether reads verify per-chunk CRC32C checksums (v2 files).
+    pub fn checksummed(&self) -> bool {
+        self.checksummed
+    }
+
+    /// Underlying shared file (e.g. to attach fault injection in
+    /// tests).
+    pub fn shared_file(&self) -> &SharedFile {
+        &self.file
     }
 
     /// Dataset names in creation order.
@@ -467,7 +584,7 @@ impl H5Reader {
             by_index
                 .entry(c.index)
                 .or_default()
-                .push((c.offset, c.stored));
+                .push((c.offset, c.stored, c.crc));
         }
         let expected = match &d.chunk_dims {
             None => 1,
@@ -479,15 +596,32 @@ impl H5Reader {
         Ok(by_index.into_iter().collect())
     }
 
-    /// Read one chunk's concatenated stored bytes into `stored`.
-    fn read_segments(&self, segments: &[(u64, u64)], stored: &mut Vec<u8>) -> Result<()> {
+    /// Read one chunk's concatenated stored bytes into `stored`,
+    /// verifying each segment's CRC32C for checksummed (v2) files —
+    /// corrupt bytes are never handed to a decoder. Shared by the
+    /// serial and pipelined read paths.
+    fn read_segments(&self, segments: &[(u64, u64, u32)], stored: &mut Vec<u8>) -> Result<()> {
         stored.clear();
-        let total: u64 = segments.iter().map(|&(_, len)| len).sum();
+        let total: u64 = segments.iter().map(|&(_, len, _)| len).sum();
         stored.resize(total as usize, 0);
         let mut at = 0usize;
-        for &(offset, len) in segments {
+        for &(offset, len, crc) in segments {
+            if offset.checked_add(len).is_none() || offset + len > self.flen {
+                return Err(H5Error::Truncated("chunk"));
+            }
             let end = at + len as usize;
             self.file.read_at(offset, &mut stored[at..end])?;
+            if self.checksummed {
+                let actual = crc32c(&stored[at..end]);
+                if actual != crc {
+                    return Err(H5Error::ChecksumMismatch {
+                        context: "chunk",
+                        offset,
+                        expected: crc,
+                        actual,
+                    });
+                }
+            }
             at = end;
         }
         Ok(())
@@ -959,6 +1093,155 @@ mod tests {
         let r = H5Reader::open(&path).unwrap();
         assert!(r.meta("z").unwrap().stored_bytes() < 200);
         assert_eq!(r.read_raw("z").unwrap(), data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Write a one-dataset v1 container by hand (no checksums
+    /// anywhere) — the compatibility fixture for pre-v2 files.
+    fn write_v1_file(path: &std::path::Path, payload: &[u8]) {
+        use szlite::stream::{put_u32, put_u64, put_varint};
+        let mut table = Vec::new();
+        put_varint(&mut table, 1); // one dataset
+        put_varint(&mut table, 1); // name len
+        table.push(b'x');
+        table.push(2); // U8 dtype tag
+        put_varint(&mut table, 1); // rank 1
+        put_varint(&mut table, payload.len() as u64);
+        table.push(0); // contiguous
+        put_varint(&mut table, 0); // no filters
+        put_varint(&mut table, 1); // one chunk, v1 record: no crc
+        put_varint(&mut table, 0);
+        put_u64(&mut table, SUPERBLOCK);
+        put_varint(&mut table, payload.len() as u64);
+        put_varint(&mut table, payload.len() as u64);
+        put_varint(&mut table, 0); // no attrs
+        let table_offset = SUPERBLOCK + payload.len() as u64;
+        let mut sb = Vec::new();
+        put_u32(&mut sb, MAGIC);
+        sb.push(1); // version 1
+        sb.extend_from_slice(&[0u8; 3]);
+        put_u64(&mut sb, table_offset);
+        put_u64(&mut sb, table.len() as u64);
+        sb.resize(SUPERBLOCK as usize, 0);
+        let mut bytes = sb;
+        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(&table);
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn v1_file_still_reads_unverified() {
+        let path = tmp("v1");
+        write_v1_file(&path, &[5, 6, 7, 8]);
+        let r = H5Reader::open(&path).unwrap();
+        assert!(!r.checksummed());
+        assert_eq!(r.read_raw("x").unwrap(), vec![5, 6, 7, 8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_chunk_detected_on_both_read_paths() {
+        let path = tmp("crc-chunk");
+        let f = H5File::create(&path).unwrap();
+        let data: Vec<f32> = (0..512).map(|i| (i as f32 * 0.1).sin()).collect();
+        let id = f
+            .create_dataset(DatasetSpec::new("v", Dtype::F32, &[512]).chunked(&[128]))
+            .unwrap();
+        f.write_full(id, &f32_bytes(&data)).unwrap();
+        f.close().unwrap();
+
+        // Flip one bit inside the second chunk's stored bytes.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = SUPERBLOCK as usize + 600;
+        bytes[victim] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let r = H5Reader::open(&path).unwrap();
+        assert!(r.checksummed());
+        assert!(matches!(
+            r.read_raw("v"),
+            Err(H5Error::ChecksumMismatch {
+                context: "chunk",
+                ..
+            })
+        ));
+        assert!(matches!(
+            r.read_full_pipelined("v", 4),
+            Err(H5Error::ChecksumMismatch {
+                context: "chunk",
+                ..
+            })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_table_and_superblock_detected() {
+        let path = tmp("crc-meta");
+        let f = H5File::create(&path).unwrap();
+        let id = f
+            .create_dataset(DatasetSpec::new("v", Dtype::U8, &[64]))
+            .unwrap();
+        f.write_full(id, &[9u8; 64]).unwrap();
+        f.close().unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Corrupt the metadata table (last byte of the file).
+        let mut bad = clean.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            H5Reader::open(&path),
+            Err(H5Error::ChecksumMismatch {
+                context: "metadata table",
+                ..
+            })
+        ));
+
+        // Corrupt the superblock's table-offset field.
+        let mut bad = clean.clone();
+        bad[9] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            H5Reader::open(&path),
+            Err(H5Error::ChecksumMismatch {
+                context: "superblock",
+                ..
+            })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_chunk_reported_as_truncated() {
+        let path = tmp("crc-trunc");
+        let f = H5File::create(&path).unwrap();
+        let id = f
+            .create_dataset(DatasetSpec::new("v", Dtype::U8, &[4096]))
+            .unwrap();
+        f.write_full(id, &[3u8; 4096]).unwrap();
+        f.close().unwrap();
+        // Forge a container whose (valid, checksummed) table points a
+        // chunk past EOF — the reader must report truncation before
+        // ever attempting the read.
+        let r = H5Reader::open(&path).unwrap();
+        let c = r.meta("v").unwrap().chunks[0];
+        drop(r);
+        let f2 = H5File::create(&path).unwrap();
+        let id2 = f2
+            .create_dataset(DatasetSpec::new("v", Dtype::U8, &[4096]))
+            .unwrap();
+        f2.record_chunk(
+            id2,
+            ChunkInfo {
+                offset: c.offset + (1 << 20),
+                ..c
+            },
+        )
+        .unwrap();
+        f2.close().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert!(matches!(r.read_raw("v"), Err(H5Error::Truncated("chunk"))));
         std::fs::remove_file(&path).unwrap();
     }
 

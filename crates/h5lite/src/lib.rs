@@ -28,16 +28,22 @@
 
 pub mod asyncq;
 pub mod chunk;
+pub mod crc;
 pub mod error;
 pub mod file;
 pub mod filter;
 pub mod meta;
 pub mod pipeline;
 pub mod pool;
+pub mod scrub;
 
 pub use asyncq::EventSet;
-pub use error::{H5Error, Result};
-pub use file::{DatasetId, DatasetSpec, H5File, H5Reader, MAGIC, SUPERBLOCK, VERSION};
+pub use crc::{crc32c, Crc32c};
+pub use error::{AsyncWriteFailure, H5Error, Result};
+pub use file::{
+    DatasetId, DatasetSpec, H5File, H5Reader, FLAG_CHUNK_CRC, MAGIC, MIN_VERSION, SUPERBLOCK,
+    VERSION,
+};
 pub use filter::{
     Filter, FilterRegistry, FilterScratch, SzFilterParams, LZSS_FILTER_ID, SHUFFLE_FILTER_ID,
     SZLITE_FILTER_ID,

@@ -1,0 +1,448 @@
+//! Container scrub: walk an h5lite file, classify every chunk, and
+//! optionally repair from a replica.
+//!
+//! Unlike [`H5Reader`](crate::H5Reader), which fails fast on the first
+//! integrity violation, the scrub pass keeps going and produces a full
+//! damage map — the input a recovery policy needs to decide between
+//! repair (a replica holds verified bytes for the damaged extents),
+//! mark-and-skip, and quarantine (the container is torn at the
+//! superblock and cannot be trusted at all).
+
+use crate::crc::crc32c;
+use crate::error::{H5Error, Result};
+use crate::file::{Superblock, SUPERBLOCK};
+use crate::meta::{deserialize_table, deserialize_table_v1, DatasetMeta};
+use pfsim::SharedFile;
+use std::path::{Path, PathBuf};
+
+/// Verdict on one stored chunk record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkState {
+    /// Bytes present and (for v2 files) CRC-verified.
+    Ok,
+    /// Bytes present but failing their recorded CRC32C.
+    Corrupt {
+        /// Checksum recorded in the metadata.
+        expected: u32,
+        /// Checksum of the bytes on disk.
+        actual: u32,
+    },
+    /// The record points past the end of the file.
+    Truncated,
+}
+
+/// One chunk record's scrub result.
+#[derive(Debug, Clone)]
+pub struct ChunkReport {
+    /// Dataset the chunk belongs to.
+    pub dataset: String,
+    /// Linear chunk index.
+    pub index: u64,
+    /// Position of the record within the dataset's record list —
+    /// identifies one segment of a chunk stored as several extents.
+    pub record: usize,
+    /// Absolute file offset of the stored bytes.
+    pub offset: u64,
+    /// Stored length in bytes.
+    pub stored: u64,
+    /// Verdict.
+    pub state: ChunkState,
+}
+
+/// Container-level verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Superblock, table, and (v2) their checksums are intact.
+    Ok,
+    /// The superblock is still the zeroed create-time placeholder (or
+    /// the file is shorter than a superblock): the writer crashed
+    /// before `close()` published the metadata — a torn step. Chunk
+    /// locations are unknown; quarantine and rewrite.
+    Torn,
+    /// The superblock is present but damaged (bad magic on a non-zero
+    /// block, failed self-CRC, or unsupported version).
+    CorruptSuperblock(String),
+    /// The metadata table is missing its extent or fails its CRC.
+    CorruptTable(String),
+}
+
+/// Full damage map of one container.
+#[derive(Debug, Clone)]
+pub struct ScrubReport {
+    /// Scrubbed path.
+    pub path: PathBuf,
+    /// Container-level verdict; chunk reports are only present when
+    /// this is [`ContainerState::Ok`].
+    pub container: ContainerState,
+    /// Per-chunk-record verdicts.
+    pub chunks: Vec<ChunkReport>,
+    /// False for v1 files: chunks were only bounds-checked, not
+    /// checksum-verified (v1 records carry no CRC).
+    pub verified: bool,
+}
+
+impl ScrubReport {
+    /// No damage anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.container == ContainerState::Ok
+            && self.chunks.iter().all(|c| c.state == ChunkState::Ok)
+    }
+
+    /// Number of corrupt chunk records.
+    pub fn n_corrupt(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| matches!(c.state, ChunkState::Corrupt { .. }))
+            .count()
+    }
+
+    /// Number of truncated chunk records.
+    pub fn n_truncated(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| c.state == ChunkState::Truncated)
+            .count()
+    }
+
+    /// Damaged chunk records (corrupt or truncated).
+    pub fn damaged(&self) -> impl Iterator<Item = &ChunkReport> {
+        self.chunks.iter().filter(|c| c.state != ChunkState::Ok)
+    }
+}
+
+/// Parse superblock + table without failing on damage; the error
+/// string goes into the [`ContainerState`].
+fn load_meta(
+    file: &SharedFile,
+) -> Result<std::result::Result<(Vec<DatasetMeta>, bool), ContainerState>> {
+    let flen = file.len().map_err(H5Error::Io)?;
+    if flen < SUPERBLOCK {
+        return Ok(Err(ContainerState::Torn));
+    }
+    let mut sb = [0u8; SUPERBLOCK as usize];
+    file.read_at(0, &mut sb).map_err(H5Error::Io)?;
+    if sb.iter().all(|&b| b == 0) {
+        // The zeroed create-time superblock: close() never ran.
+        return Ok(Err(ContainerState::Torn));
+    }
+    let sb = match Superblock::parse(&sb) {
+        Ok(sb) => sb,
+        Err(e) => return Ok(Err(ContainerState::CorruptSuperblock(e.to_string()))),
+    };
+    if sb.table_offset.checked_add(sb.table_len).is_none() || sb.table_offset + sb.table_len > flen
+    {
+        return Ok(Err(ContainerState::CorruptTable(
+            "table extent past end of file".into(),
+        )));
+    }
+    let mut table = vec![0u8; sb.table_len as usize];
+    file.read_at(sb.table_offset, &mut table)
+        .map_err(H5Error::Io)?;
+    if sb.version >= 2 {
+        let actual = crc32c(&table);
+        if actual != sb.table_crc {
+            return Ok(Err(ContainerState::CorruptTable(format!(
+                "table checksum mismatch: recorded {:#010x}, read {actual:#010x}",
+                sb.table_crc
+            ))));
+        }
+    }
+    let parsed = if sb.version >= 2 {
+        deserialize_table(&table)
+    } else {
+        deserialize_table_v1(&table)
+    };
+    match parsed {
+        Ok(datasets) => Ok(Ok((datasets, sb.checksummed()))),
+        Err(e) => Ok(Err(ContainerState::CorruptTable(e.to_string()))),
+    }
+}
+
+/// Scrub the container at `path`: classify the superblock, the
+/// metadata table, and every chunk record. Only environmental I/O
+/// failures (permissions, vanished file) return `Err`; damage is
+/// reported in the [`ScrubReport`].
+pub fn scrub(path: impl AsRef<Path>) -> Result<ScrubReport> {
+    let path = path.as_ref().to_path_buf();
+    let file = SharedFile::open(&path).map_err(H5Error::Io)?;
+    let (datasets, checksummed) = match load_meta(&file)? {
+        Ok(ok) => ok,
+        Err(state) => {
+            return Ok(ScrubReport {
+                path,
+                container: state,
+                chunks: Vec::new(),
+                verified: false,
+            })
+        }
+    };
+    let flen = file.len().map_err(H5Error::Io)?;
+    let mut chunks = Vec::new();
+    let mut buf = Vec::new();
+    for d in &datasets {
+        for (record, c) in d.chunks.iter().enumerate() {
+            let state = if c.offset.checked_add(c.stored).is_none() || c.offset + c.stored > flen {
+                ChunkState::Truncated
+            } else if checksummed {
+                buf.clear();
+                buf.resize(c.stored as usize, 0);
+                file.read_at(c.offset, &mut buf).map_err(H5Error::Io)?;
+                let actual = crc32c(&buf);
+                if actual == c.crc {
+                    ChunkState::Ok
+                } else {
+                    ChunkState::Corrupt {
+                        expected: c.crc,
+                        actual,
+                    }
+                }
+            } else {
+                // v1: present, but nothing to verify against.
+                ChunkState::Ok
+            };
+            chunks.push(ChunkReport {
+                dataset: d.name.clone(),
+                index: c.index,
+                record,
+                offset: c.offset,
+                stored: c.stored,
+                state,
+            });
+        }
+    }
+    Ok(ScrubReport {
+        path,
+        container: ContainerState::Ok,
+        chunks,
+        verified: checksummed,
+    })
+}
+
+/// Outcome of [`repair_from_replica`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Damaged records whose bytes were restored (and re-verified)
+    /// from the replica.
+    pub repaired: usize,
+    /// Damaged records the replica could not heal (replica missing
+    /// the record, size mismatch, or replica bytes failing the CRC).
+    pub unrepairable: usize,
+}
+
+/// Repair damaged chunks of `path` in place from `replica` — a
+/// container holding the same datasets (e.g. the burst-buffer copy of
+/// a checkpoint whose PFS copy rotted, or vice versa). Each damaged
+/// record is matched by (dataset, chunk index, record position); the
+/// replica's bytes must verify against the *target's* recorded CRC
+/// before they are written, so a diverged replica can never make
+/// things worse. Container-level damage (torn/corrupt superblock or
+/// table) is not repairable chunk-wise — quarantine instead.
+pub fn repair_from_replica(
+    path: impl AsRef<Path>,
+    replica: impl AsRef<Path>,
+) -> Result<RepairReport> {
+    let report = scrub(&path)?;
+    if report.container != ContainerState::Ok {
+        return Err(H5Error::InvalidState(
+            "container-level damage is not chunk-repairable; quarantine the file",
+        ));
+    }
+    let mut out = RepairReport::default();
+    if report.damaged().next().is_none() {
+        return Ok(out);
+    }
+    let target = SharedFile::open(path.as_ref()).map_err(H5Error::Io)?;
+    let replica_file = SharedFile::open(replica.as_ref()).map_err(H5Error::Io)?;
+    let replica_meta = match load_meta(&replica_file)? {
+        Ok((datasets, _)) => datasets,
+        Err(_) => {
+            // A damaged replica heals nothing.
+            out.unrepairable = report.damaged().count();
+            return Ok(out);
+        }
+    };
+    let target_meta = match load_meta(&target)? {
+        Ok((datasets, _)) => datasets,
+        Err(_) => unreachable!("scrub above verified the container"),
+    };
+    let rlen = replica_file.len().map_err(H5Error::Io)?;
+    let mut buf = Vec::new();
+    for damaged in report.damaged() {
+        let repaired = (|| -> Option<()> {
+            let t_ds = target_meta.iter().find(|d| d.name == damaged.dataset)?;
+            let r_ds = replica_meta.iter().find(|d| d.name == damaged.dataset)?;
+            let want = t_ds.chunks.get(damaged.record)?;
+            let have = r_ds.chunks.get(damaged.record)?;
+            if have.index != want.index || have.stored != want.stored {
+                return None;
+            }
+            if have.offset.checked_add(have.stored)? > rlen {
+                return None;
+            }
+            buf.clear();
+            buf.resize(have.stored as usize, 0);
+            replica_file.read_at(have.offset, &mut buf).ok()?;
+            // Verify against the target's recorded CRC: only bytes
+            // that restore the original content are written back.
+            if crc32c(&buf) != want.crc {
+                return None;
+            }
+            target.write_at(want.offset, &buf).ok()?;
+            Some(())
+        })()
+        .is_some();
+        if repaired {
+            out.repaired += 1;
+        } else {
+            out.unrepairable += 1;
+        }
+    }
+    target.sync().map_err(H5Error::Io)?;
+    Ok(out)
+}
+
+/// Mark-and-skip: rename a damaged container to
+/// `<name>.quarantined`, returning the new path. Recovery then
+/// re-produces the step instead of trusting damaged bytes.
+pub fn quarantine(path: impl AsRef<Path>) -> Result<PathBuf> {
+    let path = path.as_ref();
+    let mut name = path
+        .file_name()
+        .ok_or(H5Error::InvalidState("path has no file name"))?
+        .to_os_string();
+    name.push(".quarantined");
+    let dest = path.with_file_name(name);
+    std::fs::rename(path, &dest).map_err(H5Error::Io)?;
+    Ok(dest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{DatasetSpec, H5File};
+    use crate::meta::Dtype;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("h5lite-scrub-{}-{}.h5l", std::process::id(), name));
+        p
+    }
+
+    fn write_container(path: &Path, seed: u8) -> Vec<u8> {
+        let f = H5File::create(path).unwrap();
+        let data: Vec<u8> = (0..2048u32).map(|i| (i as u8).wrapping_add(seed)).collect();
+        let id = f
+            .create_dataset(DatasetSpec::new("v", Dtype::U8, &[2048]).chunked(&[512]))
+            .unwrap();
+        f.write_full(id, &data).unwrap();
+        f.close().unwrap();
+        data
+    }
+
+    #[test]
+    fn clean_container_scrubs_clean() {
+        let path = tmp("clean");
+        write_container(&path, 0);
+        let r = scrub(&path).unwrap();
+        assert!(r.is_clean());
+        assert!(r.verified);
+        assert_eq!(r.chunks.len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_classified_corrupt_and_repaired_from_replica() {
+        let path = tmp("flip");
+        let replica = tmp("flip-replica");
+        let data = write_container(&path, 0);
+        write_container(&replica, 0);
+
+        // Flip a bit in the third chunk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[SUPERBLOCK as usize + 1100] ^= 0x02;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let r = scrub(&path).unwrap();
+        assert!(!r.is_clean());
+        assert_eq!(r.n_corrupt(), 1);
+        assert_eq!(r.n_truncated(), 0);
+        let bad = r.damaged().next().unwrap();
+        assert_eq!(bad.dataset, "v");
+        assert_eq!(bad.index, 2);
+
+        let rep = repair_from_replica(&path, &replica).unwrap();
+        assert_eq!(
+            rep,
+            RepairReport {
+                repaired: 1,
+                unrepairable: 0
+            }
+        );
+        assert!(scrub(&path).unwrap().is_clean());
+        let restored = crate::H5Reader::open(&path).unwrap().read_raw("v").unwrap();
+        assert_eq!(restored, data);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&replica).unwrap();
+    }
+
+    #[test]
+    fn diverged_replica_cannot_make_things_worse() {
+        let path = tmp("diverge");
+        let replica = tmp("diverge-replica");
+        write_container(&path, 0);
+        write_container(&replica, 77); // different content, same shape
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[SUPERBLOCK as usize + 10] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let rep = repair_from_replica(&path, &replica).unwrap();
+        assert_eq!(
+            rep,
+            RepairReport {
+                repaired: 0,
+                unrepairable: 1
+            }
+        );
+        // Still damaged, but not *differently* damaged.
+        assert_eq!(scrub(&path).unwrap().n_corrupt(), 1);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&replica).unwrap();
+    }
+
+    #[test]
+    fn torn_container_detected_and_quarantined() {
+        let path = tmp("torn");
+        // A writer that never reached close(): zeroed superblock plus
+        // some chunk bytes.
+        let f = H5File::create(&path).unwrap();
+        let id = f
+            .create_dataset(DatasetSpec::new("v", Dtype::U8, &[64]))
+            .unwrap();
+        f.write_full(id, &[1u8; 64]).unwrap();
+        drop(f); // no close
+        let r = scrub(&path).unwrap();
+        assert_eq!(r.container, ContainerState::Torn);
+        assert!(!r.is_clean());
+
+        let dest = quarantine(&path).unwrap();
+        assert!(!path.exists());
+        assert!(dest.exists());
+        assert!(dest.to_string_lossy().ends_with(".quarantined"));
+        std::fs::remove_file(&dest).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_classified_truncated() {
+        let path = tmp("shorter");
+        write_container(&path, 0);
+        // Chop the file *after* rewriting the superblock to keep the
+        // table: instead simulate by pointing the table at a truncated
+        // copy — simplest is cutting mid-table, which is CorruptTable.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let r = scrub(&path).unwrap();
+        assert!(matches!(r.container, ContainerState::CorruptTable(_)));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -34,7 +34,13 @@ fn arb_meta() -> impl Strategy<Value = DatasetMeta> {
         arb_dtype(),
         proptest::collection::vec(1u64..64, 1..4),
         proptest::collection::vec(
-            (any::<u64>(), any::<u64>(), 0u64..1_000_000, 0u64..1_000_000),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                0u64..1_000_000,
+                0u64..1_000_000,
+                any::<u32>(),
+            ),
             0..6,
         ),
         proptest::collection::vec(arb_attr(), 0..4),
@@ -58,11 +64,12 @@ fn arb_meta() -> impl Strategy<Value = DatasetMeta> {
                 chunks: raw_chunks
                     .into_iter()
                     .enumerate()
-                    .map(|(i, (_, offset, stored, raw))| ChunkInfo {
+                    .map(|(i, (_, offset, stored, raw, crc))| ChunkInfo {
                         index: i as u64,
                         offset,
                         stored,
                         raw,
+                        crc,
                     })
                     .collect(),
                 attrs,

@@ -2,7 +2,7 @@
 //! async event-set writes feeding recorded chunks — the exact
 //! composition the predictive write engine uses.
 
-use h5lite::{DatasetSpec, Dtype, EventSet, H5File, H5Reader};
+use h5lite::{crc32c, DatasetSpec, Dtype, EventSet, H5File, H5Reader};
 use pfsim::SharedFile;
 use testutil::TempPath;
 
@@ -49,6 +49,7 @@ fn async_chunk_writes_then_close() {
     for c in 0..n_chunks {
         let vals: Vec<f32> = (0..chunk_elems).map(|i| (c * 100 + i) as f32).collect();
         let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let crc = crc32c(&bytes);
         es.write_at(file.shared_file(), base + c * chunk_bytes, bytes, None);
         file.record_chunk(
             id,
@@ -57,6 +58,7 @@ fn async_chunk_writes_then_close() {
                 offset: base + c * chunk_bytes,
                 stored: chunk_bytes,
                 raw: chunk_bytes,
+                crc,
             },
         )
         .unwrap();
@@ -91,6 +93,7 @@ fn reader_rejects_incomplete_chunk_set() {
             offset: off,
             stored: 4,
             raw: 4,
+            crc: crc32c(&[1, 2, 3, 4]),
         },
     )
     .unwrap();
@@ -118,6 +121,7 @@ fn two_extent_chunk_concatenates_in_order() {
             offset: a,
             stored: 4,
             raw: 6,
+            crc: crc32c(&[10, 11, 12, 13]),
         },
     )
     .unwrap();
@@ -130,6 +134,7 @@ fn two_extent_chunk_concatenates_in_order() {
             offset: b,
             stored: 2,
             raw: 0,
+            crc: crc32c(&[14, 15]),
         },
     )
     .unwrap();

@@ -17,9 +17,14 @@
 //! * [`throttle::Throttle`] — a token bucket that imposes the model's
 //!   aggregate cap on real writes so wall-clock behavior matches the
 //!   simulated shape.
+//! * [`faults`] — a deterministic fault-injection harness
+//!   ([`faults::FaultFs`]) that attaches to a [`SharedFile`] and
+//!   replays seeded torn writes, bit flips, short reads, and
+//!   transient `EIO`s, for crash-recovery testing.
 
 pub mod bandwidth;
 pub mod engine;
+pub mod faults;
 pub mod sharedfile;
 pub mod throttle;
 
@@ -28,5 +33,6 @@ pub use engine::{
     collective_write_time, simulate, simulate_concurrent_writes, PipelineTask, RankPipeline,
     SimOutcome, TaskTimes,
 };
-pub use sharedfile::SharedFile;
+pub use faults::{Fault, FaultError, FaultFs, FaultPlan, FaultStatsSnapshot, SplitMix64};
+pub use sharedfile::{SharedFile, TailRewind};
 pub use throttle::Throttle;

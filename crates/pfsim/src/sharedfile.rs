@@ -7,7 +7,9 @@
 //! the paper's overflow handling (appending excess data past the
 //! reserved region after an all-gather of overflow sizes).
 
+use crate::faults::{FaultError, FaultFs, ReadOutcome, WriteOutcome};
 use parking_lot::Mutex;
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -17,6 +19,40 @@ use std::sync::Arc;
 #[cfg(unix)]
 use std::os::unix::fs::FileExt;
 
+/// Bounded retry budget for transient injected/OS faults
+/// (`ErrorKind::Interrupted`): attempts beyond the first.
+const MAX_RETRIES: u32 = 4;
+
+/// Typed error for an [`SharedFile::advance_tail_to`] call that would
+/// move the explicit-advance high-water mark backwards — a stale
+/// caller replaying an old plan. The tail itself never rewinds; this
+/// error reports the rejection instead of silently saturating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailRewind {
+    /// Offset the stale caller asked for.
+    pub requested: u64,
+    /// Previously established high-water mark.
+    pub high_water: u64,
+}
+
+impl fmt::Display for TailRewind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "advance_tail_to({}) rewinds below the previous explicit advance ({})",
+            self.requested, self.high_water
+        )
+    }
+}
+
+impl std::error::Error for TailRewind {}
+
+impl From<TailRewind> for io::Error {
+    fn from(e: TailRewind) -> Self {
+        io::Error::new(io::ErrorKind::InvalidInput, e)
+    }
+}
+
 struct Inner {
     file: File,
     path: PathBuf,
@@ -24,8 +60,10 @@ struct Inner {
     tail: AtomicU64,
     /// High-water mark of explicit [`SharedFile::advance_tail_to`]
     /// offsets: layout regions only ever grow, so a smaller offset
-    /// means a stale caller (debug-asserted; saturating in release).
+    /// means a stale caller (typed [`TailRewind`] error).
     advance_mark: AtomicU64,
+    /// Fault-injection harness, if attached (tests/benches).
+    faults: Mutex<Option<Arc<FaultFs>>>,
     /// Serializes seek-based fallback I/O on non-Unix targets.
     #[cfg_attr(unix, allow(dead_code))]
     meta: Mutex<()>,
@@ -52,6 +90,7 @@ impl SharedFile {
                 path: path.as_ref().to_path_buf(),
                 tail: AtomicU64::new(0),
                 advance_mark: AtomicU64::new(0),
+                faults: Mutex::new(None),
                 meta: Mutex::new(()),
             }),
         })
@@ -70,6 +109,7 @@ impl SharedFile {
                 path: path.as_ref().to_path_buf(),
                 tail: AtomicU64::new(len),
                 advance_mark: AtomicU64::new(0),
+                faults: Mutex::new(None),
                 meta: Mutex::new(()),
             }),
         })
@@ -80,8 +120,19 @@ impl SharedFile {
         &self.inner.path
     }
 
-    /// Write `data` at absolute `offset` (thread-safe positioned write).
-    pub fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+    /// Attach (or detach, with `None`) a fault-injection harness. All
+    /// subsequent `write_at`/`read_at` calls consult its schedule.
+    pub fn set_faults(&self, faults: Option<Arc<FaultFs>>) {
+        *self.inner.faults.lock() = faults;
+    }
+
+    /// The attached fault harness, if any.
+    pub fn faults(&self) -> Option<Arc<FaultFs>> {
+        self.inner.faults.lock().clone()
+    }
+
+    /// Raw positioned write, below fault injection.
+    fn write_at_raw(&self, offset: u64, data: &[u8]) -> io::Result<()> {
         #[cfg(unix)]
         {
             self.inner.file.write_all_at(data, offset)?;
@@ -94,14 +145,11 @@ impl SharedFile {
             f.seek(SeekFrom::Start(offset))?;
             f.write_all(data)?;
         }
-        // Keep the logical tail past any explicit write.
-        let end = offset + data.len() as u64;
-        self.inner.tail.fetch_max(end, Ordering::SeqCst);
         Ok(())
     }
 
-    /// Read exactly `buf.len()` bytes at `offset`.
-    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+    /// Raw positioned exact read, below fault injection.
+    fn read_at_raw(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         #[cfg(unix)]
         {
             self.inner.file.read_exact_at(buf, offset)
@@ -113,6 +161,92 @@ impl SharedFile {
             let mut f = &self.inner.file;
             f.seek(SeekFrom::Start(offset))?;
             f.read_exact(buf)
+        }
+    }
+
+    /// Brief backoff before retry `attempt` (1-based) of a transient
+    /// fault.
+    fn backoff(attempt: u32) {
+        std::thread::sleep(std::time::Duration::from_micros(50 * attempt as u64));
+    }
+
+    /// Escalate a transient fault that survived the retry budget.
+    fn escalate(faults: &FaultFs) -> io::Error {
+        faults.count_escalation();
+        io::Error::other(FaultError::RetriesExhausted {
+            attempts: MAX_RETRIES + 1,
+        })
+    }
+
+    /// Write `data` at absolute `offset` (thread-safe positioned
+    /// write). With a fault harness attached, transient injected
+    /// faults are retried with bounded backoff; permanent ones (torn
+    /// write / simulated crash) escalate as typed [`io::Error`]s.
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let faults = self.inner.faults.lock().clone();
+        match faults {
+            None => self.write_at_raw(offset, data)?,
+            Some(fs) => {
+                let mut attempt = 0u32;
+                loop {
+                    match fs.on_write(data) {
+                        WriteOutcome::Proceed => {
+                            self.write_at_raw(offset, data)?;
+                            break;
+                        }
+                        WriteOutcome::Corrupted(bad) => {
+                            // Silent: the op "succeeds"; only the
+                            // reader's checksum can notice.
+                            self.write_at_raw(offset, &bad)?;
+                            break;
+                        }
+                        WriteOutcome::TornThenCrash { prefix, op } => {
+                            let _ = self.write_at_raw(offset, &prefix);
+                            return Err(io::Error::other(FaultError::Crashed { op }));
+                        }
+                        WriteOutcome::Fail(e) if e.kind() == io::ErrorKind::Interrupted => {
+                            if attempt >= MAX_RETRIES {
+                                return Err(Self::escalate(&fs));
+                            }
+                            attempt += 1;
+                            fs.count_retry();
+                            Self::backoff(attempt);
+                        }
+                        WriteOutcome::Fail(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        // Keep the logical tail past any explicit write.
+        let end = offset + data.len() as u64;
+        self.inner.tail.fetch_max(end, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Read exactly `buf.len()` bytes at `offset`, with the same
+    /// bounded-retry policy as [`SharedFile::write_at`] when a fault
+    /// harness is attached.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let faults = self.inner.faults.lock().clone();
+        match faults {
+            None => self.read_at_raw(offset, buf),
+            Some(fs) => {
+                let mut attempt = 0u32;
+                loop {
+                    match fs.on_read() {
+                        ReadOutcome::Proceed => return self.read_at_raw(offset, buf),
+                        ReadOutcome::Fail(e) if e.kind() == io::ErrorKind::Interrupted => {
+                            if attempt >= MAX_RETRIES {
+                                return Err(Self::escalate(&fs));
+                            }
+                            attempt += 1;
+                            fs.count_retry();
+                            Self::backoff(attempt);
+                        }
+                        ReadOutcome::Fail(e) => return Err(e),
+                    }
+                }
+            }
         }
     }
 
@@ -128,17 +262,20 @@ impl SharedFile {
     /// Explicit advances must be monotone: planned layout regions only
     /// ever grow, so an `offset` below a previously advanced one means
     /// a stale caller replaying an old plan. That is rejected with a
-    /// debug assertion; in release builds the call saturates — the
-    /// tail (and the advance high-water mark) never move backwards, so
-    /// reservations handed out after the newer advance stay disjoint.
-    pub fn advance_tail_to(&self, offset: u64) -> u64 {
+    /// typed [`TailRewind`] error in every build mode; the tail (and
+    /// the advance high-water mark) never move backwards, so
+    /// reservations handed out after the newer advance stay disjoint
+    /// even when the caller ignores the error.
+    pub fn advance_tail_to(&self, offset: u64) -> Result<u64, TailRewind> {
         let prev_mark = self.inner.advance_mark.fetch_max(offset, Ordering::SeqCst);
-        debug_assert!(
-            offset >= prev_mark,
-            "advance_tail_to({offset}) rewinds below the previous explicit advance ({prev_mark})"
-        );
+        if offset < prev_mark {
+            return Err(TailRewind {
+                requested: offset,
+                high_water: prev_mark,
+            });
+        }
         self.inner.tail.fetch_max(offset, Ordering::SeqCst);
-        self.inner.tail.load(Ordering::SeqCst)
+        Ok(self.inner.tail.load(Ordering::SeqCst))
     }
 
     /// Current logical tail (reservations included).
@@ -208,7 +345,7 @@ mod tests {
     fn reserve_is_atomic_and_disjoint() {
         let path = tmp("resv");
         let f = SharedFile::create(&path).unwrap();
-        f.advance_tail_to(1 << 20);
+        f.advance_tail_to(1 << 20).unwrap();
         let offsets: Vec<u64> = std::thread::scope(|s| {
             let hs: Vec<_> = (0..16)
                 .map(|_| {
@@ -240,40 +377,97 @@ mod tests {
     fn advance_tail_is_monotone_and_saturating() {
         let path = tmp("adv");
         let f = SharedFile::create(&path).unwrap();
-        assert_eq!(f.advance_tail_to(100), 100);
+        assert_eq!(f.advance_tail_to(100).unwrap(), 100);
         // Re-advancing to the same offset is fine (every rank derives
         // the same plan and may advance identically).
-        assert_eq!(f.advance_tail_to(100), 100);
+        assert_eq!(f.advance_tail_to(100).unwrap(), 100);
         // A write past the advance moves the tail further; the next
-        // (monotone) advance below the tail saturates instead of
-        // rewinding it.
+        // monotone advance (above the high-water mark, below the tail)
+        // saturates at the tail instead of rewinding it.
         f.write_at(150, &[0u8; 10]).unwrap();
-        assert_eq!(f.advance_tail_to(120), 160);
+        assert_eq!(f.advance_tail_to(120).unwrap(), 160);
         assert_eq!(f.tail(), 160);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "rewinds below the previous explicit advance")]
-    fn advance_tail_rejects_rewind_in_debug() {
+    fn advance_tail_rewind_is_typed_error() {
         let path = tmp("adv-rewind");
         let f = SharedFile::create(&path).unwrap();
-        f.advance_tail_to(4096);
-        let _guard = scopeguard(&path);
-        f.advance_tail_to(512); // stale caller replaying an old plan
+        f.advance_tail_to(4096).unwrap();
+        // A stale caller replaying an old plan gets a typed rejection
+        // in every build mode; the tail stays where it was.
+        let err = f.advance_tail_to(512).unwrap_err();
+        assert_eq!(
+            err,
+            TailRewind {
+                requested: 512,
+                high_water: 4096
+            }
+        );
+        assert_eq!(f.tail(), 4096);
+        // The error converts to io::Error for propagation.
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).unwrap();
     }
 
-    /// Remove the temp file even though the enclosing test panics.
-    #[cfg(debug_assertions)]
-    fn scopeguard(path: &Path) -> impl Drop + '_ {
-        struct G<'a>(&'a Path);
-        impl Drop for G<'_> {
-            fn drop(&mut self) {
-                let _ = std::fs::remove_file(self.0);
-            }
+    #[test]
+    fn fault_harness_retries_transients_and_reports_crashes() {
+        use crate::faults::{Fault, FaultFs, FaultPlan};
+
+        let path = tmp("faulty");
+        let f = SharedFile::create(&path).unwrap();
+        let fs = FaultFs::new(
+            FaultPlan::new()
+                .on_write(0, Fault::Transient)
+                .on_write(3, Fault::TornWrite { keep: 2 }),
+        );
+        f.set_faults(Some(Arc::clone(&fs)));
+        // Op 0 transient → retried as op 1 → lands.
+        f.write_at(0, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        // Op 2 clean.
+        f.write_at(5, b"world").unwrap();
+        // Op 3 torn: 2 bytes land, the op errors, the harness is
+        // "crashed" and everything after fails permanently.
+        let err = f.write_at(10, b"abcdef").unwrap_err();
+        assert!(matches!(
+            FaultError::from_io(&err),
+            Some(FaultError::Crashed { op: 3 })
+        ));
+        assert!(f.write_at(20, b"x").is_err());
+        let stats = fs.stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.torn_writes, 1);
+        f.set_faults(None);
+        let mut torn = [0u8; 2];
+        f.read_at(10, &mut torn).unwrap();
+        assert_eq!(&torn, b"ab");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn persistent_transient_escalates_after_bounded_retry() {
+        use crate::faults::{Fault, FaultFs, FaultPlan};
+
+        let path = tmp("escalate");
+        let f = SharedFile::create(&path).unwrap();
+        let mut plan = FaultPlan::new();
+        for op in 0..32 {
+            plan = plan.on_write(op, Fault::Transient);
         }
-        G(path)
+        let fs = FaultFs::new(plan);
+        f.set_faults(Some(Arc::clone(&fs)));
+        let err = f.write_at(0, b"never lands").unwrap_err();
+        assert!(matches!(
+            FaultError::from_io(&err),
+            Some(FaultError::RetriesExhausted { .. })
+        ));
+        assert_eq!(fs.stats().escalations, 1);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -127,6 +127,9 @@ pub struct OnlinePrediction {
     pub band: f64,
 }
 
+/// Version byte of [`OnlinePredictor::to_state_bytes`]'s encoding.
+const STATE_VERSION: u8 = 1;
+
 /// Streaming per-partition predictor: offline model × online
 /// bias correction, with adaptive extra-space headroom.
 #[derive(Debug, Clone)]
@@ -212,6 +215,85 @@ impl OnlinePredictor {
             last_observed: c.last_observed,
             n_obs: c.n_obs,
         }
+    }
+
+    /// Serialize the full adaptation state (config + every cell) to a
+    /// compact byte stream — the payload of the timeline's per-step
+    /// sidecar, so a restarted stream resumes with warmed predictions
+    /// instead of re-running warm-up. Framing (magic, checksum) is the
+    /// caller's job.
+    pub fn to_state_bytes(&self) -> Vec<u8> {
+        use szlite::stream::{put_f64, put_varint};
+        let mut out = Vec::with_capacity(16 + self.cells.len() * 24);
+        out.push(STATE_VERSION);
+        put_f64(&mut out, self.cfg.alpha);
+        put_varint(&mut out, self.cfg.warmup);
+        put_f64(&mut out, self.cfg.err_margin);
+        put_f64(&mut out, self.cfg.min_headroom);
+        put_f64(&mut out, self.cfg.max_headroom);
+        put_varint(&mut out, self.cells.len() as u64);
+        for c in &self.cells {
+            put_f64(&mut out, c.correction);
+            put_f64(&mut out, c.err);
+            put_varint(&mut out, c.last_observed);
+            put_varint(&mut out, c.n_obs);
+        }
+        out
+    }
+
+    /// Rebuild a predictor from [`OnlinePredictor::to_state_bytes`]
+    /// output. The config is re-sanitized on load, so a state written
+    /// by a future version with wider ranges still comes up safe.
+    pub fn from_state_bytes(bytes: &[u8]) -> Result<Self, String> {
+        use szlite::stream::{get_f64, get_varint};
+        let err = |what: &str| format!("online predictor state: truncated {what}");
+        let mut pos = 0usize;
+        let version = *bytes.first().ok_or_else(|| err("header"))?;
+        if version != STATE_VERSION {
+            return Err(format!(
+                "online predictor state: unsupported version {version}"
+            ));
+        }
+        pos += 1;
+        let alpha = get_f64(bytes, &mut pos).map_err(|_| err("alpha"))?;
+        let warmup = get_varint(bytes, &mut pos).map_err(|_| err("warmup"))?;
+        let err_margin = get_f64(bytes, &mut pos).map_err(|_| err("err_margin"))?;
+        let min_headroom = get_f64(bytes, &mut pos).map_err(|_| err("min_headroom"))?;
+        let max_headroom = get_f64(bytes, &mut pos).map_err(|_| err("max_headroom"))?;
+        let n = get_varint(bytes, &mut pos).map_err(|_| err("cell count"))? as usize;
+        if n > 100_000_000 {
+            return Err("online predictor state: implausible cell count".into());
+        }
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            let correction = get_f64(bytes, &mut pos).map_err(|_| err("cell"))?;
+            let cell_err = get_f64(bytes, &mut pos).map_err(|_| err("cell"))?;
+            let last_observed = get_varint(bytes, &mut pos).map_err(|_| err("cell"))?;
+            let n_obs = get_varint(bytes, &mut pos).map_err(|_| err("cell"))?;
+            if !correction.is_finite() || !cell_err.is_finite() {
+                return Err("online predictor state: non-finite cell".into());
+            }
+            cells.push(Cell {
+                correction,
+                err: cell_err,
+                last_observed,
+                n_obs,
+            });
+        }
+        if pos != bytes.len() {
+            return Err("online predictor state: trailing bytes".into());
+        }
+        Ok(OnlinePredictor {
+            cfg: OnlineConfig {
+                alpha,
+                warmup,
+                err_margin,
+                min_headroom,
+                max_headroom,
+            }
+            .sanitized(),
+            cells,
+        })
     }
 
     /// Mean EWMA relative error over cells with history (0 when none
@@ -307,6 +389,40 @@ mod tests {
         if let Some(h) = pr.headroom {
             assert!(h.is_finite() && h >= 1.0);
         }
+    }
+
+    #[test]
+    fn state_roundtrips_exactly() {
+        let mut p = OnlinePredictor::new(6, OnlineConfig::default());
+        for step in 0..5u64 {
+            for cell in 0..6 {
+                let pr = p.predict(cell, 1000 + cell as u64 * 37);
+                p.observe(cell, 1000, pr.bytes, 900 + step * 50 + cell as u64);
+            }
+        }
+        let bytes = p.to_state_bytes();
+        let q = OnlinePredictor::from_state_bytes(&bytes).unwrap();
+        assert_eq!(q.n_cells(), p.n_cells());
+        assert_eq!(q.config(), p.config());
+        for cell in 0..6 {
+            assert_eq!(q.stats(cell), p.stats(cell), "cell {cell}");
+            // Bit-identical state must yield bit-identical predictions.
+            assert_eq!(q.predict(cell, 1234), p.predict(cell, 1234));
+        }
+    }
+
+    #[test]
+    fn corrupt_state_rejected() {
+        let p = OnlinePredictor::new(2, OnlineConfig::default());
+        let bytes = p.to_state_bytes();
+        assert!(OnlinePredictor::from_state_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(OnlinePredictor::from_state_bytes(&[]).is_err());
+        let mut vers = bytes.clone();
+        vers[0] = 99;
+        assert!(OnlinePredictor::from_state_bytes(&vers).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(OnlinePredictor::from_state_bytes(&trailing).is_err());
     }
 
     #[test]

@@ -32,6 +32,30 @@ impl OnlineSource {
         }
     }
 
+    /// Source resuming from a previously persisted predictor (e.g. a
+    /// sidecar written by an earlier run). The predictor must track
+    /// exactly `nranks × nfields` cells — a mismatch means the sidecar
+    /// belongs to a differently shaped stream and must not be reused.
+    pub fn with_predictor(
+        nranks: usize,
+        nfields: usize,
+        models: Models,
+        online: OnlinePredictor,
+    ) -> Result<Self, String> {
+        if online.n_cells() != nranks * nfields {
+            return Err(format!(
+                "online state tracks {} cells, stream shape is {nranks}×{nfields}",
+                online.n_cells()
+            ));
+        }
+        Ok(OnlineSource {
+            models,
+            online,
+            nranks,
+            nfields,
+        })
+    }
+
     /// Ranks tracked.
     pub fn nranks(&self) -> usize {
         self.nranks

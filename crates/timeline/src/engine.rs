@@ -13,13 +13,43 @@
 
 use crate::adaptive::OnlineSource;
 use crate::metrics::{StepMetrics, TimelineReport};
-use pfsim::BandwidthModel;
+use pfsim::{BandwidthModel, FaultFs};
 use predwrite::{
     run_real_with, ExtraSpacePolicy, Method, ModelSource, RankFieldData, RealConfig, RealError,
 };
 use ratiomodel::{Models, OnlineConfig};
 use std::path::PathBuf;
+use std::sync::Arc;
 use szlite::Config;
+
+/// Per-step fault-injection hook: maps a step index to the
+/// [`FaultFs`] its container I/O runs under (`None` = healthy step).
+/// Production runs leave [`TimelineConfig::step_faults`] unset; tests
+/// and the fault bench use this to crash or degrade exactly one step
+/// of a stream.
+#[derive(Clone)]
+pub struct StepFaults(pub Arc<dyn Fn(usize) -> Option<Arc<FaultFs>> + Send + Sync>);
+
+impl StepFaults {
+    /// Hook from a closure.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(usize) -> Option<Arc<FaultFs>> + Send + Sync + 'static,
+    {
+        StepFaults(Arc::new(f))
+    }
+
+    /// Inject `faults` into step `step` only.
+    pub fn only_step(step: usize, faults: Arc<FaultFs>) -> Self {
+        StepFaults::new(move |s| (s == step).then(|| Arc::clone(&faults)))
+    }
+}
+
+impl std::fmt::Debug for StepFaults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StepFaults(..)")
+    }
+}
 
 /// Prediction/headroom policy of a timeline run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,7 +102,13 @@ pub struct TimelineConfig {
     pub dir: PathBuf,
     /// Keep the step files on disk (default workflows delete each file
     /// once its metrics are collected, like a rotating checkpoint).
+    /// Keeping files also persists a predictor sidecar per adaptive
+    /// step, which is what makes crash recovery
+    /// ([`crate::recovery::resume_timeline`]) possible.
     pub keep_files: bool,
+    /// Optional fault-injection hook consulted once per step; the
+    /// returned [`FaultFs`] is attached to that step's container.
+    pub step_faults: Option<StepFaults>,
 }
 
 impl TimelineConfig {
@@ -94,12 +130,18 @@ impl TimelineConfig {
             verify: true,
             dir,
             keep_files: false,
+            step_faults: None,
         }
     }
 
     /// Container path of one step's checkpoint.
     pub fn step_path(&self, step: usize) -> PathBuf {
         self.dir.join(format!("step-{step:04}.h5l"))
+    }
+
+    /// Predictor-sidecar path of one step's checkpoint.
+    pub fn sidecar_path(&self, step: usize) -> PathBuf {
+        crate::sidecar::sidecar_path(&self.step_path(step))
     }
 }
 
@@ -111,8 +153,24 @@ impl TimelineConfig {
 ///
 /// Returns the per-step metrics; any engine or verification failure
 /// aborts the stream with the failing step's error.
-pub fn run_timeline<F, D>(
+pub fn run_timeline<F, D>(cfg: &TimelineConfig, step_data: F) -> Result<TimelineReport, RealError>
+where
+    F: FnMut(usize) -> D,
+    D: std::borrow::Borrow<Vec<Vec<RankFieldData>>>,
+{
+    run_timeline_resumed(cfg, 0, None, step_data)
+}
+
+/// [`run_timeline`] starting at `start_step` with optional pre-warmed
+/// adaptation state — the restart half of crash recovery. Steps below
+/// `start_step` are assumed to already exist on disk (or to be
+/// deliberately skipped); their metrics are not re-collected. When
+/// `initial_online` is `Some`, adaptive steps resume from that
+/// predictor history instead of a cold warm-up.
+pub fn run_timeline_resumed<F, D>(
     cfg: &TimelineConfig,
+    start_step: usize,
+    initial_online: Option<OnlineSource>,
     mut step_data: F,
 ) -> Result<TimelineReport, RealError>
 where
@@ -121,8 +179,13 @@ where
 {
     std::fs::create_dir_all(&cfg.dir)
         .map_err(|e| RealError(format!("timeline: create {}: {e}", cfg.dir.display())))?;
-    let mut online: Option<OnlineSource> = None;
-    let mut steps = Vec::with_capacity(cfg.steps);
+    let mut online: Option<OnlineSource> = initial_online;
+    if let (AdaptMode::Static, Some(_)) = (&cfg.mode, &online) {
+        return Err(RealError(
+            "timeline: online state supplied for a static-mode stream".into(),
+        ));
+    }
+    let mut steps = Vec::with_capacity(cfg.steps.saturating_sub(start_step));
     // One engine config serves the whole stream; only the output path
     // changes per step, so the per-field Config list is cloned once,
     // not once per timestep.
@@ -136,13 +199,15 @@ where
         sz_threads: cfg.sz_threads,
         verify: cfg.verify,
         path: PathBuf::new(),
+        faults: None,
     };
-    for step in 0..cfg.steps {
+    for step in start_step..cfg.steps {
         let data = step_data(step);
         let data = data.borrow();
         let nranks = data.len();
         let nfields = data.first().map_or(0, Vec::len);
         rc.path = cfg.step_path(step);
+        rc.faults = cfg.step_faults.as_ref().and_then(|h| (h.0)(step));
         let (result, obs) = match &cfg.mode {
             AdaptMode::Static => run_real_with(
                 data,
@@ -174,7 +239,20 @@ where
             _ => step_mean_rel_err(&obs),
         };
         steps.push(StepMetrics::collect(step, result, &obs, mean_rel_err));
-        if !cfg.keep_files {
+        if cfg.keep_files {
+            // Persist the post-step adaptation state beside the
+            // container: a restart after this step resumes prediction
+            // with the same history the uninterrupted stream has.
+            if let Some(src) = &online {
+                crate::sidecar::save_sidecar(
+                    &cfg.sidecar_path(step),
+                    src.nranks(),
+                    src.nfields(),
+                    src.predictor(),
+                )
+                .map_err(|e| RealError(format!("timeline: step {step} sidecar: {e}")))?;
+            }
+        } else {
             let _ = std::fs::remove_file(&rc.path);
         }
     }

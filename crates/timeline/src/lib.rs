@@ -35,8 +35,14 @@ pub mod adaptive;
 pub mod data;
 pub mod engine;
 pub mod metrics;
+pub mod recovery;
+pub mod sidecar;
 
 pub use adaptive::OnlineSource;
 pub use data::{partition_1d, partition_3d, partition_stream_step};
-pub use engine::{run_stream, run_timeline, AdaptMode, TimelineConfig};
+pub use engine::{
+    run_stream, run_timeline, run_timeline_resumed, AdaptMode, StepFaults, TimelineConfig,
+};
 pub use metrics::{StepMetrics, TimelineReport};
+pub use recovery::{resume_timeline, ResumeReport};
+pub use sidecar::{load_sidecar, save_sidecar, sidecar_path};

@@ -44,6 +44,7 @@ fn base_config(method: Method, path: PathBuf) -> RealConfig {
         sz_threads: 1,
         verify: false,
         path,
+        faults: None,
     }
 }
 
