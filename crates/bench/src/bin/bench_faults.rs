@@ -225,6 +225,11 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"ranks\": {nranks},");
     let _ = writeln!(json, "  \"workloads\": [");

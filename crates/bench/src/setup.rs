@@ -39,6 +39,7 @@ pub fn demo_real_config(
         sz_threads: 0, // honor SZ_THREADS, default serial
         verify,
         path,
+        reservation: predwrite::ReservationTopology::Flat,
         faults: None,
     }
 }

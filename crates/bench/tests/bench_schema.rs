@@ -1,0 +1,416 @@
+//! Schema validation of the committed `BENCH_*.json` artifacts.
+//!
+//! The bench binaries hand-write their JSON (no serde in the tree), so
+//! nothing guarantees the committed artifacts stay parseable or keep
+//! the keys the CI jobs and downstream tooling grep for. This test
+//! walks the repository root, parses every `BENCH_*.json` with a small
+//! strict JSON parser, and checks:
+//!
+//! - the file is valid JSON and a non-empty object,
+//! - every number is finite (hand-formatted floats can silently turn
+//!   into `inf`/`NaN` text that some parsers accept),
+//! - `host_parallelism` is present at the top level and ≥ 1 — the
+//!   record of whether the numbers came from a multi-core or a 1-core
+//!   host,
+//! - per-file required keys exist with the right shapes (sweeps,
+//!   workloads, per-config metrics).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Minimal JSON value — just enough to validate the bench artifacts.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Json::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn arr(&self, key: &str) -> Option<&[Json]> {
+        match self.get(key) {
+            Some(Json::Arr(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn str_of(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Every number reachable from this value.
+    fn numbers(&self, out: &mut Vec<f64>) {
+        match self {
+            Json::Num(n) => out.push(*n),
+            Json::Arr(a) => a.iter().for_each(|v| v.numbers(out)),
+            Json::Obj(m) => m.values().for_each(|v| v.numbers(out)),
+            _ => {}
+        }
+    }
+}
+
+/// Strict recursive-descent JSON parser: rejects trailing garbage,
+/// trailing commas, unquoted keys, and bare `inf`/`nan` tokens.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.pos, self.bytes[self.pos] as char
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                c => return Err(format!("expected ',' or '}}' , found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected ',' or ']', found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape")
+                        .copied()?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                Some(&b) => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+fn bench_files() -> Vec<(String, Json)> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(repo_root()).expect("read repo root") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let text = std::fs::read_to_string(entry.path()).expect("read artifact");
+            let json = Parser::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            found.push((name, json));
+        }
+    }
+    found.sort_by(|a, b| a.0.cmp(&b.0));
+    found
+}
+
+#[test]
+fn every_committed_bench_artifact_is_valid() {
+    let files = bench_files();
+    assert!(
+        files.len() >= 5,
+        "expected the committed bench artifacts, found {:?}",
+        files.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+    );
+    for (name, json) in &files {
+        match json {
+            Json::Obj(m) => assert!(!m.is_empty(), "{name}: empty top-level object"),
+            _ => panic!("{name}: top level is not an object"),
+        }
+        // Multi-core vs 1-core provenance of the numbers.
+        let par = json
+            .num("host_parallelism")
+            .unwrap_or_else(|| panic!("{name}: missing host_parallelism"));
+        assert!(
+            par >= 1.0 && par.fract() == 0.0,
+            "{name}: bad host_parallelism {par}"
+        );
+        let mut nums = Vec::new();
+        json.numbers(&mut nums);
+        assert!(!nums.is_empty(), "{name}: no numeric fields");
+        for n in nums {
+            assert!(n.is_finite(), "{name}: non-finite number {n}");
+        }
+    }
+}
+
+#[test]
+fn scale_artifact_has_the_sweep_schema() {
+    let files = bench_files();
+    let (name, json) = files
+        .iter()
+        .find(|(n, _)| n == "BENCH_scale.json")
+        .expect("BENCH_scale.json is committed");
+    assert!(matches!(json.get("multi_core_host"), Some(Json::Bool(_))));
+    assert!(json.num("steps").unwrap_or(0.0) >= 1.0);
+    assert!(json.num("fields").unwrap_or(0.0) >= 1.0);
+    let sweeps = json.arr("sweeps").expect("sweeps array");
+    assert!(!sweeps.is_empty(), "{name}: empty sweeps");
+    let mut prev_ranks = 0.0;
+    for sweep in sweeps {
+        let ranks = sweep.num("ranks").expect("sweep.ranks");
+        assert!(ranks > prev_ranks, "{name}: ranks not ascending");
+        prev_ranks = ranks;
+        let gs = sweep.num("group_size").expect("sweep.group_size");
+        assert!(
+            gs >= 1.0 && gs <= ranks,
+            "{name}: group_size {gs} vs {ranks}"
+        );
+        let configs = sweep.arr("configs").expect("sweep.configs");
+        assert!(configs.len() >= 3, "{name}: expected ≥ 3 configs per sweep");
+        for c in configs {
+            for key in ["mode", "topology"] {
+                let v = c
+                    .str_of(key)
+                    .unwrap_or_else(|| panic!("{name}: missing {key}"));
+                assert!(!v.is_empty());
+            }
+            for key in [
+                "planner_secs",
+                "collective_bytes_per_rank",
+                "file_bytes",
+                "compressed_bytes",
+                "waste_bytes",
+                "overflow_bytes",
+                "overflow_partitions",
+                "mean_step_secs",
+                "final_rel_err",
+            ] {
+                let v = c
+                    .num(key)
+                    .unwrap_or_else(|| panic!("{name}: missing config key {key}"));
+                assert!(v >= 0.0, "{name}: negative {key} = {v}");
+            }
+        }
+        // The flat and sharded static configs must agree byte for byte
+        // (the committed artifact re-states the layout-invariance pin).
+        let flat = configs
+            .iter()
+            .find(|c| c.str_of("topology") == Some("flat") && c.str_of("mode") == Some("static"));
+        let shard = configs.iter().find(|c| {
+            c.str_of("topology") == Some("sharded") && c.str_of("mode") == Some("static")
+        });
+        if let (Some(fl), Some(sh)) = (flat, shard) {
+            for key in [
+                "file_bytes",
+                "compressed_bytes",
+                "waste_bytes",
+                "overflow_bytes",
+            ] {
+                assert_eq!(
+                    fl.num(key),
+                    sh.num(key),
+                    "{name}: static flat vs sharded disagree on {key}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workload_artifacts_keep_their_required_keys() {
+    let files = bench_files();
+    let by_name = |n: &str| files.iter().find(|(name, _)| name == n).map(|(_, j)| j);
+    if let Some(j) = by_name("BENCH_timeline.json") {
+        let workloads = j.arr("workloads").expect("timeline workloads");
+        assert!(!workloads.is_empty());
+        for w in workloads {
+            assert!(w.str_of("workload").is_some());
+            assert!(
+                w.arr("modes").map_or(0, <[Json]>::len) >= 2,
+                "two modes per workload"
+            );
+        }
+    }
+    if let Some(j) = by_name("BENCH_faults.json") {
+        for w in j.arr("workloads").expect("fault workloads") {
+            assert_eq!(w.get("recovered"), Some(&Json::Bool(true)));
+        }
+    }
+    if let Some(j) = by_name("BENCH_compress.json") {
+        assert!(j.num("raw_bytes").unwrap_or(0.0) > 0.0);
+        assert!(j.num("stored_bytes").unwrap_or(0.0) > 0.0);
+    }
+}
+
+#[test]
+fn parser_rejects_malformed_json() {
+    for bad in [
+        "",
+        "{",
+        "{\"a\": }",
+        "{\"a\": 1,}",
+        "[1 2]",
+        "{\"a\": inf}",
+        "{\"a\": NaN}",
+        "{\"a\": 1} x",
+        "{'a': 1}",
+    ] {
+        assert!(Parser::parse(bad).is_err(), "accepted malformed: {bad:?}");
+    }
+    let ok = Parser::parse("{\"a\": [1, 2.5e-3, -4], \"b\": {\"c\": true}}").unwrap();
+    assert_eq!(ok.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+    let mut nums = Vec::new();
+    ok.numbers(&mut nums);
+    assert_eq!(nums.len(), 3);
+}

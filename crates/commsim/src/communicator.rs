@@ -3,8 +3,23 @@
 //! A [`World`] spawns `n` OS threads, each holding a [`Rank`] handle.
 //! Collectives (barrier, all-gather, broadcast, gather, all-reduce)
 //! are implemented over a shared slot table guarded by two barrier
-//! phases: write → barrier → read → barrier. Point-to-point messages
-//! use per-rank queues with tag matching.
+//! phases: write → barrier → assemble → barrier → read. Point-to-point
+//! messages use per-rank queues with tag matching.
+//!
+//! All-gather results are delivered as a shared `Arc<[T]>`: the world
+//! vector is assembled exactly once (by the lowest participating rank)
+//! and every rank receives a reference-counted handle to it, so the
+//! memory cost of a collective is O(ranks · payload), not
+//! O(ranks² · payload) — the difference between feasible and not at
+//! 4096 ranks.
+//!
+//! [`Rank::split`] builds subgroup communicators (MPI
+//! `MPI_Comm_split`): group-local collectives plus a small inter-group
+//! exchange ([`Group::try_exchange`]) give two-level ("sharded")
+//! reductions whose per-rank cost is O(group + n_groups) instead of
+//! O(ranks). The poison protocol extends to subgroups: a rank that
+//! fails anywhere unblocks every collective — world-level or in any
+//! group — with a typed [`WorldPoisoned`] error.
 //!
 //! This reproduces the communication semantics the paper's design
 //! needs (notably the all-gather of predicted compression ratios and
@@ -45,12 +60,69 @@ struct Message {
     payload: Payload,
 }
 
+/// Slot table + single-assembly result cell shared by one communicator
+/// (the world, or one subgroup).
+struct SlotTable {
+    /// One slot per participant for collective exchanges.
+    slots: Vec<Mutex<Option<Payload>>>,
+    /// The assembled world vector of the in-flight collective.
+    result: Mutex<Option<Payload>>,
+}
+
+impl SlotTable {
+    fn new(n: usize) -> Self {
+        SlotTable {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            result: Mutex::new(None),
+        }
+    }
+
+    /// Assembler side of a gather: move every participant's payload
+    /// out of its slot into one shared `Arc<[T]>` stored in `result`.
+    /// Exactly one participant calls this, between the write barrier
+    /// and the read barrier.
+    fn assemble<T: Send + Sync + 'static>(&self) {
+        let gathered: Vec<T> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                *slot
+                    .lock()
+                    .take()
+                    .expect("missing contribution")
+                    .downcast::<T>()
+                    .expect("type mismatch in all_gather")
+            })
+            .collect();
+        let shared: Arc<[T]> = gathered.into();
+        *self.result.lock() = Some(Box::new(shared));
+    }
+
+    /// Reader side: clone the shared handle assembled by
+    /// [`SlotTable::assemble`]. Called by every participant after the
+    /// read barrier; a later collective only overwrites `result` after
+    /// all participants passed its own write barrier, which they can
+    /// only do once they have taken this handle.
+    fn shared_result<T: Send + Sync + 'static>(&self) -> Arc<[T]> {
+        let guard = self.result.lock();
+        Arc::clone(
+            guard
+                .as_ref()
+                .expect("result not assembled")
+                .downcast_ref::<Arc<[T]>>()
+                .expect("type mismatch in all_gather result"),
+        )
+    }
+}
+
 /// Shared state of a world of ranks.
 struct Shared {
     n: usize,
     barrier: Barrier,
-    /// One slot per rank for collective exchanges.
-    slots: Vec<Mutex<Option<Payload>>>,
+    table: SlotTable,
+    /// Barriers of every subgroup split off this world, so a poison
+    /// reaches ranks blocked in group-local collectives too.
+    subgroups: Mutex<Vec<Arc<Barrier>>>,
     /// Per-rank inbound message queues.
     inboxes: Vec<Mutex<VecDeque<Message>>>,
     /// Per-rank condvars to park receivers.
@@ -75,7 +147,8 @@ impl World {
         let shared = Arc::new(Shared {
             n,
             barrier: Barrier::new(n),
-            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            table: SlotTable::new(n),
+            subgroups: Mutex::new(Vec::new()),
             inboxes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
             inbox_cv: (0..n).map(|_| parking_lot::Condvar::new()).collect(),
         });
@@ -123,6 +196,154 @@ where
     World::new(n).run(f)
 }
 
+/// Shared state of one subgroup produced by [`Rank::split`].
+struct GroupShared {
+    /// World ranks of the members, ascending (index = group-local rank).
+    members: Vec<usize>,
+    barrier: Arc<Barrier>,
+    table: SlotTable,
+}
+
+/// Shared state of one whole split: every subgroup plus the
+/// inter-group exchange table (one slot per group).
+struct SplitShared {
+    /// Groups in ascending color order (index = dense group id).
+    groups: Vec<Arc<GroupShared>>,
+    /// One slot per group for leader-to-world exchanges.
+    inter: SlotTable,
+}
+
+/// A subgroup communicator: this rank's view of one [`Rank::split`].
+///
+/// Group-local collectives ([`Group::try_barrier`],
+/// [`Group::try_all_gather`]) involve only the group's members;
+/// [`Group::try_exchange`] is the matching small inter-group
+/// collective (every world rank participates, but only the `n_groups`
+/// leader payloads travel). All of them honor the world's poison
+/// protocol: any rank failing anywhere unblocks them with
+/// [`WorldPoisoned`].
+pub struct Group {
+    world: Arc<Shared>,
+    split: Arc<SplitShared>,
+    shared: Arc<GroupShared>,
+    /// Dense group id (ascending color order).
+    gid: usize,
+    /// This rank's index within the group.
+    local: usize,
+    /// This rank's world id.
+    world_rank: usize,
+}
+
+impl Group {
+    /// This rank's index within the group, in `[0, size)`.
+    pub fn rank_in_group(&self) -> usize {
+        self.local
+    }
+
+    /// Number of members in this group.
+    pub fn size(&self) -> usize {
+        self.shared.members.len()
+    }
+
+    /// Dense id of this group (groups are numbered 0.. in ascending
+    /// color order).
+    pub fn group_id(&self) -> usize {
+        self.gid
+    }
+
+    /// Number of groups in the split.
+    pub fn n_groups(&self) -> usize {
+        self.split.groups.len()
+    }
+
+    /// World ranks of the members, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.shared.members
+    }
+
+    /// This rank's world id.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Whether this rank is the group's leader (group-local rank 0,
+    /// i.e. the member with the lowest world rank).
+    pub fn is_leader(&self) -> bool {
+        self.local == 0
+    }
+
+    /// Synchronize the group's members; unblocks with
+    /// [`WorldPoisoned`] if any rank poisons the world.
+    pub fn try_barrier(&self) -> Result<(), WorldPoisoned> {
+        self.shared.barrier.wait_checked()?;
+        Ok(())
+    }
+
+    /// Group-local all-gather: every member contributes `value`;
+    /// returns the members' values in group-local rank order as one
+    /// shared vector.
+    pub fn try_all_gather<T: Clone + Send + Sync + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Arc<[T]>, WorldPoisoned> {
+        *self.shared.table.slots[self.local].lock() = Some(Box::new(value));
+        self.shared.barrier.wait_checked()?;
+        if self.local == 0 {
+            self.shared.table.assemble::<T>();
+        }
+        self.shared.barrier.wait_checked()?;
+        Ok(self.shared.table.shared_result::<T>())
+    }
+
+    /// Inter-group exchange: each group's leader contributes `value`
+    /// (`Some` required at group-local rank 0, ignored elsewhere);
+    /// every rank of the world receives the per-group values in dense
+    /// group-id order. This is the "small" collective of a two-level
+    /// reduction: only `n_groups` payloads travel, however many ranks
+    /// participate.
+    ///
+    /// All world ranks must call this (it synchronizes on the world
+    /// barrier), like any other collective.
+    pub fn try_exchange<T: Clone + Send + Sync + 'static>(
+        &self,
+        value: Option<T>,
+    ) -> Result<Arc<[T]>, WorldPoisoned> {
+        if self.local == 0 {
+            let v = value.expect("group leader must supply a value");
+            *self.split.inter.slots[self.gid].lock() = Some(Box::new(v));
+        }
+        self.world.barrier.wait_checked()?;
+        if self.world_rank == 0 {
+            self.split.inter.assemble::<T>();
+        }
+        self.world.barrier.wait_checked()?;
+        Ok(self.split.inter.shared_result::<T>())
+    }
+
+    /// Two-level all-reduce: fold within the group (group-local rank
+    /// order), exchange the group results, fold across groups (dense
+    /// group-id order). Every rank receives the world-level reduction.
+    ///
+    /// For an associative, commutative `fold` (sums, min/max over
+    /// integers) the result equals the flat
+    /// `Rank::all_reduce`/all-gather reduction, at per-rank collective
+    /// cost O(group_size + n_groups) instead of O(ranks).
+    pub fn try_reduce_groups<T, F>(&self, value: T, fold: F) -> Result<T, WorldPoisoned>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let local = self.try_all_gather(value)?;
+        let mut it = local.iter().cloned();
+        let first = it.next().expect("non-empty group");
+        let group_total = it.fold(first, &fold);
+        let merged = self.try_exchange(self.is_leader().then(|| group_total.clone()))?;
+        let mut it = merged.iter().cloned();
+        let first = it.next().expect("non-empty split");
+        Ok(it.fold(first, &fold))
+    }
+}
+
 impl Rank {
     /// This rank's id in `[0, size)`.
     pub fn rank(&self) -> usize {
@@ -140,12 +361,16 @@ impl Rank {
     }
 
     /// Mark this world as failed: every rank currently blocked in a
-    /// collective (and every future collective attempt through the
-    /// `try_*` variants) unblocks with [`WorldPoisoned`] instead of
-    /// waiting forever for this rank. Call before abandoning the rank
-    /// closure on an error path. Idempotent.
+    /// collective — world-level or in any subgroup split off this
+    /// world — and every future collective attempt through the `try_*`
+    /// variants unblocks with [`WorldPoisoned`] instead of waiting
+    /// forever for this rank. Call before abandoning the rank closure
+    /// on an error path. Idempotent.
     pub fn poison(&self) {
         self.shared.barrier.poison();
+        for b in self.shared.subgroups.lock().iter() {
+            b.poison();
+        }
     }
 
     /// Whether some rank has poisoned the world.
@@ -160,57 +385,116 @@ impl Rank {
         Ok(())
     }
 
+    /// Split the world into subgroup communicators by `color` (MPI
+    /// `MPI_Comm_split`): ranks passing the same color land in the
+    /// same group, ordered by world rank. Collective over the world.
+    ///
+    /// The returned [`Group`]'s collectives share the world's poison
+    /// protocol: a rank that fails and poisons the world releases
+    /// members blocked in any group of any split.
+    pub fn split(&self, color: usize) -> Result<Group, WorldPoisoned> {
+        let colors = self.try_all_gather(color)?;
+        // Rank 0 builds the shared split state and publishes it
+        // through its own slot; everyone derives the same dense group
+        // ids from the identical gathered colors.
+        if self.rank == 0 {
+            let mut distinct: Vec<usize> = colors.to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let groups: Vec<Arc<GroupShared>> = distinct
+                .iter()
+                .map(|&c| {
+                    let members: Vec<usize> =
+                        (0..self.shared.n).filter(|&r| colors[r] == c).collect();
+                    let barrier = Arc::new(Barrier::new(members.len()));
+                    // Register before any rank can use it, so a poison
+                    // arriving at any time reaches this barrier.
+                    self.shared.subgroups.lock().push(Arc::clone(&barrier));
+                    Arc::new(GroupShared {
+                        table: SlotTable::new(members.len()),
+                        members,
+                        barrier,
+                    })
+                })
+                .collect();
+            let split = Arc::new(SplitShared {
+                inter: SlotTable::new(groups.len()),
+                groups,
+            });
+            *self.shared.table.slots[0].lock() = Some(Box::new(split));
+        }
+        self.shared.barrier.wait_checked()?;
+        let split = {
+            let slot = self.shared.table.slots[0].lock();
+            Arc::clone(
+                slot.as_ref()
+                    .expect("split state missing")
+                    .downcast_ref::<Arc<SplitShared>>()
+                    .expect("type mismatch in split"),
+            )
+        };
+        self.shared.barrier.wait_checked()?;
+        let gid = split
+            .groups
+            .iter()
+            .position(|g| g.members.contains(&self.rank))
+            .expect("every rank belongs to a group");
+        let shared = Arc::clone(&split.groups[gid]);
+        let local = shared
+            .members
+            .iter()
+            .position(|&m| m == self.rank)
+            .expect("member list contains self");
+        Ok(Group {
+            world: Arc::clone(&self.shared),
+            split,
+            shared,
+            gid,
+            local,
+            world_rank: self.rank,
+        })
+    }
+
     /// Fallible [`Rank::all_gather`]: unblocks with [`WorldPoisoned`]
     /// if a peer poisons the world instead of contributing.
-    pub fn try_all_gather<T: Clone + Send + 'static>(
+    pub fn try_all_gather<T: Clone + Send + Sync + 'static>(
         &self,
         value: T,
-    ) -> Result<Vec<T>, WorldPoisoned> {
-        *self.shared.slots[self.rank].lock() = Some(Box::new(value));
+    ) -> Result<Arc<[T]>, WorldPoisoned> {
+        *self.shared.table.slots[self.rank].lock() = Some(Box::new(value));
         self.shared.barrier.wait_checked()?;
-        let out: Vec<T> = (0..self.shared.n)
-            .map(|r| {
-                let slot = self.shared.slots[r].lock();
-                slot.as_ref()
-                    .expect("missing contribution")
-                    .downcast_ref::<T>()
-                    .expect("type mismatch in try_all_gather")
-                    .clone()
-            })
-            .collect();
+        if self.rank == 0 {
+            self.shared.table.assemble::<T>();
+        }
         self.shared.barrier.wait_checked()?;
-        Ok(out)
+        Ok(self.shared.table.shared_result::<T>())
     }
 
     /// All-gather: every rank contributes `value`; returns the values
-    /// of all ranks in rank order. (The paper's phase-2 step: gathering
-    /// predicted compression ratios of every partition.)
-    pub fn all_gather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
-        *self.shared.slots[self.rank].lock() = Some(Box::new(value));
+    /// of all ranks in rank order as one shared vector — assembled
+    /// once, handed to every rank by reference, so collective memory
+    /// is O(ranks · payload) however many ranks receive it. (The
+    /// paper's phase-2 step: gathering predicted compression ratios of
+    /// every partition.)
+    pub fn all_gather<T: Clone + Send + Sync + 'static>(&self, value: T) -> Arc<[T]> {
+        *self.shared.table.slots[self.rank].lock() = Some(Box::new(value));
         self.shared.barrier.wait();
-        let out: Vec<T> = (0..self.shared.n)
-            .map(|r| {
-                let slot = self.shared.slots[r].lock();
-                slot.as_ref()
-                    .expect("missing contribution")
-                    .downcast_ref::<T>()
-                    .expect("type mismatch in all_gather")
-                    .clone()
-            })
-            .collect();
+        if self.rank == 0 {
+            self.shared.table.assemble::<T>();
+        }
         self.shared.barrier.wait();
-        out
+        self.shared.table.shared_result::<T>()
     }
 
     /// Broadcast `value` from `root` to all ranks.
     pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
         if self.rank == root {
-            *self.shared.slots[root].lock() =
+            *self.shared.table.slots[root].lock() =
                 Some(Box::new(value.expect("root must supply a value")));
         }
         self.shared.barrier.wait();
         let out = {
-            let slot = self.shared.slots[root].lock();
+            let slot = self.shared.table.slots[root].lock();
             slot.as_ref()
                 .expect("root slot empty")
                 .downcast_ref::<T>()
@@ -223,13 +507,13 @@ impl Rank {
 
     /// Gather values at `root`; non-root ranks receive `None`.
     pub fn gather<T: Clone + Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
-        *self.shared.slots[self.rank].lock() = Some(Box::new(value));
+        *self.shared.table.slots[self.rank].lock() = Some(Box::new(value));
         self.shared.barrier.wait();
         let out = if self.rank == root {
             Some(
                 (0..self.shared.n)
                     .map(|r| {
-                        let slot = self.shared.slots[r].lock();
+                        let slot = self.shared.table.slots[r].lock();
                         slot.as_ref()
                             .expect("missing contribution")
                             .downcast_ref::<T>()
@@ -248,11 +532,11 @@ impl Rank {
     /// All-reduce with a binary fold.
     pub fn all_reduce<T, F>(&self, value: T, fold: F) -> T
     where
-        T: Clone + Send + 'static,
+        T: Clone + Send + Sync + 'static,
         F: Fn(T, T) -> T,
     {
         let all = self.all_gather(value);
-        let mut it = all.into_iter();
+        let mut it = all.iter().cloned();
         let first = it.next().expect("non-empty world");
         it.fold(first, fold)
     }
@@ -328,7 +612,7 @@ mod tests {
     fn try_collectives_match_infallible_on_healthy_world() {
         run_world(4, |rk| {
             let v = rk.try_all_gather(rk.rank() * 2).unwrap();
-            assert_eq!(v, vec![0, 2, 4, 6]);
+            assert_eq!(&v[..], &[0, 2, 4, 6]);
             rk.try_barrier().unwrap();
             assert!(!rk.is_poisoned());
         });
@@ -338,10 +622,24 @@ mod tests {
     fn all_gather_orders_by_rank() {
         let out = run_world(6, |rk| {
             let v = rk.all_gather(rk.rank() * 10);
-            assert_eq!(v, vec![0, 10, 20, 30, 40, 50]);
+            assert_eq!(&v[..], &[0, 10, 20, 30, 40, 50]);
             v[rk.rank()]
         });
         assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn all_gather_shares_one_allocation() {
+        // The delivered world vector must be one shared allocation,
+        // not a per-rank clone: every rank's handle points at the same
+        // slice.
+        let ptrs = run_world(4, |rk| {
+            let v = rk.all_gather(rk.rank() as u64);
+            let p = v.as_ptr() as usize;
+            rk.barrier(); // keep every handle alive until all read ptr
+            p
+        });
+        assert!(ptrs.iter().all(|&p| p == ptrs[0]), "ptrs {ptrs:?}");
     }
 
     #[test]
@@ -441,5 +739,99 @@ mod tests {
                 assert_eq!(v.iter().sum::<u64>(), 64);
             }
         });
+    }
+
+    #[test]
+    fn split_contiguous_groups() {
+        run_world(8, |rk| {
+            let g = rk.split(rk.rank() / 3).unwrap(); // groups {0,1,2} {3,4,5} {6,7}
+            assert_eq!(g.n_groups(), 3);
+            assert_eq!(g.group_id(), rk.rank() / 3);
+            assert_eq!(g.rank_in_group(), rk.rank() % 3);
+            assert_eq!(g.size(), if rk.rank() < 6 { 3 } else { 2 });
+            assert_eq!(g.is_leader(), rk.rank() % 3 == 0);
+            let local = g.try_all_gather(rk.rank() as u64).unwrap();
+            let base = (rk.rank() / 3 * 3) as u64;
+            let want: Vec<u64> = (0..g.size() as u64).map(|i| base + i).collect();
+            assert_eq!(&local[..], &want[..]);
+        });
+    }
+
+    #[test]
+    fn split_non_contiguous_colors() {
+        // Odd/even split with arbitrary (non-dense) colors: dense ids
+        // follow ascending color order.
+        run_world(6, |rk| {
+            let color = if rk.rank() % 2 == 0 { 77 } else { 13 };
+            let g = rk.split(color).unwrap();
+            assert_eq!(g.n_groups(), 2);
+            // Color 13 (odd ranks) gets dense id 0.
+            let want_gid = if rk.rank() % 2 == 0 { 1 } else { 0 };
+            assert_eq!(g.group_id(), want_gid);
+            let members = g.members().to_vec();
+            let want: Vec<usize> = (0..6).filter(|r| r % 2 == rk.rank() % 2).collect();
+            assert_eq!(members, want);
+        });
+    }
+
+    #[test]
+    fn exchange_delivers_group_leader_values() {
+        run_world(8, |rk| {
+            let g = rk.split(rk.rank() / 4).unwrap();
+            let leader_value = g.is_leader().then(|| g.group_id() as u64 * 100);
+            let merged = g.try_exchange(leader_value).unwrap();
+            assert_eq!(&merged[..], &[0, 100]);
+        });
+    }
+
+    #[test]
+    fn reduce_groups_matches_flat_reduction() {
+        run_world(9, |rk| {
+            let g = rk.split(rk.rank() / 2).unwrap();
+            let two_level = g
+                .try_reduce_groups(rk.rank() as u64 + 1, |a, b| a + b)
+                .unwrap();
+            assert_eq!(two_level, (1..=9).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn groups_interleave_with_world_collectives() {
+        run_world(8, |rk| {
+            let g = rk.split(rk.rank() % 2).unwrap();
+            for round in 0..5u64 {
+                let local = g.try_all_gather(round).unwrap();
+                assert!(local.iter().all(|&v| v == round));
+                let world = rk.try_all_gather(round).unwrap();
+                assert_eq!(world.len(), 8);
+                g.try_barrier().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn poison_reaches_subgroup_collectives() {
+        // One rank of one group fails; members of *other* groups
+        // blocked in their group-local collectives must unblock with
+        // the typed error, not deadlock.
+        let out = run_world(6, |rk| {
+            let g = rk.split(rk.rank() / 3).map_err(|e| e.to_string())?;
+            if rk.rank() == 5 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                rk.poison();
+                return Err("rank 5 failed".to_string());
+            }
+            g.try_all_gather(rk.rank()).map_err(|e| e.to_string())?;
+            // Group 0's gather (ranks 0-2) completes — rank 5 is not a
+            // member — but the next world-spanning exchange cannot.
+            g.try_exchange(g.is_leader().then_some(0u64))
+                .map(|v| v.len())
+                .map_err(|e| e.to_string())
+        });
+        assert_eq!(out[5], Err("rank 5 failed".to_string()));
+        let poisoned = WorldPoisoned.to_string();
+        for (r, o) in out.iter().enumerate().take(5) {
+            assert_eq!(*o, Err(poisoned.clone()), "rank {r}");
+        }
     }
 }

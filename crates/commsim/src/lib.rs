@@ -21,4 +21,4 @@ pub mod barrier;
 pub mod communicator;
 
 pub use barrier::{Barrier, BarrierPoisoned};
-pub use communicator::{run_world, Rank, World, WorldPoisoned};
+pub use communicator::{run_world, Group, Rank, World, WorldPoisoned};

@@ -66,7 +66,7 @@ proptest! {
         let vals = values.clone();
         let out = run_world(n, move |rk| {
             let gathered = rk.all_gather(vals[rk.rank()]);
-            assert_eq!(gathered, vals);
+            assert_eq!(&gathered[..], &vals[..]);
             gathered[rk.rank()]
         });
         prop_assert_eq!(out, values);

@@ -48,12 +48,18 @@ pub mod verify;
 
 pub use extraspace::{weight_to_rspace, ExtraSpacePolicy, RSPACE_MAX, RSPACE_MIN};
 pub use metrics::{Breakdown, Method, RunResult};
-pub use plan::{fit_split, plan_overflow, FitSplit, PartitionPrediction, PartitionSlot, WritePlan};
+pub use plan::{
+    build_rank_view, fit_split, plan_overflow, reservation_wire_bytes, FitSplit,
+    PartitionPrediction, PartitionSlot, RankPlanView, WritePlan,
+};
 pub use profile::{profile_partition, replicate_profiles, PartitionProfile};
 pub use real::{
-    run_real, run_real_with, FieldObservation, ModelSource, PredictionSource, RankFieldData,
-    RealConfig, RealError, RunObservations, SourceEstimate,
+    run_real, run_real_with, AdaptMode, FieldObservation, ModelSource, PredictionSource,
+    RankFieldData, RealConfig, RealError, ReservationTopology, RunObservations, SourceEstimate,
 };
 pub use scheduler::{identity_order, optimize_order, queue_time};
-pub use sim::{simulate_all, simulate_method, SimParams};
+pub use sim::{
+    simulate_all, simulate_method, simulate_stream, SimParams, StreamSimConfig, StreamSimReport,
+    StreamStepStats,
+};
 pub use verify::{verify_file, FieldReport, VerifyReport};

@@ -114,6 +114,20 @@ impl WritePlan {
         self.data_end - self.base
     }
 
+    /// One rank's view of the layout — everything the write engine
+    /// actually consumes for rank `rank` (its own slot row plus the
+    /// shared overflow base). The sharded reservation path builds this
+    /// view directly without materializing the full `slots` matrix;
+    /// [`WritePlan::rank_view`] is the flat path's equivalent
+    /// projection, pinned equal by tests.
+    pub fn rank_view(&self, rank: usize) -> RankPlanView {
+        RankPlanView {
+            slots: self.slots[rank].clone(),
+            base: self.base,
+            data_end: self.data_end,
+        }
+    }
+
     /// Check the invariant that slots are disjoint and sorted.
     pub fn is_disjoint(&self) -> bool {
         let mut all: Vec<(u64, u64)> = self
@@ -124,6 +138,112 @@ impl WritePlan {
             .collect();
         all.sort_unstable();
         all.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0)
+    }
+}
+
+/// One rank's slice of a [`WritePlan`]: its own per-field slots plus
+/// the shared layout bounds. This is the complete planner output a
+/// rank needs to write — offsets of its own partitions and the
+/// `data_end` where overflow appends begin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankPlanView {
+    /// This rank's slot per field.
+    pub slots: Vec<PartitionSlot>,
+    /// First byte offset of the layout.
+    pub base: u64,
+    /// One past the last reserved byte (start of the overflow region).
+    pub data_end: u64,
+}
+
+/// Build one rank's layout view from a two-level (sharded) reservation
+/// collective, without any rank ever holding the full
+/// `reserved[rank][field]` matrix.
+///
+/// Ranks are partitioned into contiguous groups in ascending rank
+/// order (group `g` holds ranks `[g·s, (g+1)·s)` for group size `s`,
+/// the last group possibly short). Each rank knows:
+///
+/// - `group_totals[g][f]`: every group's summed reservation per field
+///   (from the small inter-group exchange of leader totals),
+/// - `member_preds[m][f]` / `member_reserves[m][f]`: the per-member
+///   predictions and reservations of **its own** group only (from the
+///   group-local all-gather), with `m` the group-local rank,
+/// - its own position: `my_group`, `my_member`.
+///
+/// Because the flat layout is field-major with ranks ascending, a
+/// rank's offset decomposes exactly into whole-field totals + whole
+/// preceding groups + the local prefix within its group:
+///
+/// ```text
+/// offset(f) = base + Σ_{f'<f} Σ_g group_totals[g][f']      (fields before)
+///                  + Σ_{g<my_group} group_totals[g][f]      (groups before, this field)
+///                  + Σ_{m<my_member} member_reserves[m][f]  (members before, this group)
+/// ```
+///
+/// All sums are exact `u64` adds — the same adds [`WritePlan::build_reserved`]
+/// performs in a different order — so the view is **byte-identical**
+/// to the flat path's [`WritePlan::rank_view`] (pinned by tests and
+/// the CI smoke). Per-rank collective cost drops from O(ranks·fields)
+/// to O(group·fields + n_groups·fields).
+pub fn build_rank_view(
+    group_totals: &[Vec<u64>],
+    my_group: usize,
+    member_preds: &[Vec<PartitionPrediction>],
+    member_reserves: &[Vec<u64>],
+    my_member: usize,
+    base: u64,
+) -> RankPlanView {
+    let nfields = member_preds.first().map_or(0, Vec::len);
+    debug_assert!(group_totals.iter().all(|g| g.len() == nfields));
+    debug_assert_eq!(member_preds.len(), member_reserves.len());
+    debug_assert!(my_group < group_totals.len());
+    debug_assert!(my_member < member_preds.len());
+    debug_assert_eq!(
+        group_totals[my_group],
+        (0..nfields)
+            .map(|f| member_reserves.iter().map(|m| m[f]).sum::<u64>())
+            .collect::<Vec<u64>>(),
+        "exchanged total of own group disagrees with the local gather"
+    );
+
+    let mut slots = Vec::with_capacity(nfields);
+    let mut field_start = base;
+    for f in 0..nfields {
+        let field_total: u64 = group_totals.iter().map(|g| g[f]).sum();
+        let groups_before: u64 = group_totals[..my_group].iter().map(|g| g[f]).sum();
+        let members_before: u64 = member_reserves[..my_member].iter().map(|m| m[f]).sum();
+        slots.push(PartitionSlot {
+            offset: field_start + groups_before + members_before,
+            reserved: member_reserves[my_member][f],
+            predicted: member_preds[my_member][f].bytes,
+        });
+        field_start += field_total;
+    }
+    RankPlanView {
+        slots,
+        base,
+        data_end: field_start,
+    }
+}
+
+/// Per-rank reservation-collective wire cost, bytes received per step.
+///
+/// The flat path all-gathers one `(u64, f64, f64)` triple per
+/// (rank, field) to every rank; the sharded path gathers triples only
+/// within a group of `s` ranks plus one `u64` total per (group, field)
+/// from the inter-group exchange. Used by the scale simulator and the
+/// bench to assert sub-linear growth (at `s = √ranks` the cost is
+/// O(√ranks · fields) per rank instead of O(ranks · fields)).
+pub fn reservation_wire_bytes(nranks: usize, nfields: usize, group_size: Option<usize>) -> u64 {
+    const TRIPLE: u64 = 24; // (u64, f64, f64)
+    const TOTAL: u64 = 8; // u64 per-field group total
+    match group_size {
+        None => (nranks * nfields) as u64 * TRIPLE,
+        Some(s) => {
+            let s = s.clamp(1, nranks);
+            let n_groups = nranks.div_ceil(s);
+            (s * nfields) as u64 * TRIPLE + (n_groups * nfields) as u64 * TOTAL
+        }
     }
 }
 
@@ -361,5 +481,89 @@ mod tests {
         let plan = WritePlan::build(&[], &ExtraSpacePolicy::default(), 0);
         assert_eq!(plan.data_end, 0);
         assert!(plan.is_disjoint());
+    }
+
+    /// Emulate the sharded collective for one rank: slice out its
+    /// group's rows and the per-group totals, exactly as the engine's
+    /// group gather + inter-group exchange deliver them.
+    fn sharded_view_of(
+        preds: &[Vec<PartitionPrediction>],
+        reserved: &[Vec<u64>],
+        group_size: usize,
+        rank: usize,
+        base: u64,
+    ) -> RankPlanView {
+        let nranks = preds.len();
+        let nfields = preds[0].len();
+        let n_groups = nranks.div_ceil(group_size);
+        let group_totals: Vec<Vec<u64>> = (0..n_groups)
+            .map(|g| {
+                let members = (g * group_size)..((g + 1) * group_size).min(nranks);
+                (0..nfields)
+                    .map(|f| members.clone().map(|r| reserved[r][f]).sum())
+                    .collect()
+            })
+            .collect();
+        let g = rank / group_size;
+        let members = (g * group_size)..((g + 1) * group_size).min(nranks);
+        let member_preds: Vec<Vec<PartitionPrediction>> =
+            members.clone().map(|r| preds[r].clone()).collect();
+        let member_reserves: Vec<Vec<u64>> = members.map(|r| reserved[r].clone()).collect();
+        build_rank_view(
+            &group_totals,
+            g,
+            &member_preds,
+            &member_reserves,
+            rank % group_size,
+            base,
+        )
+    }
+
+    #[test]
+    fn sharded_view_equals_flat_view_every_rank_every_group_size() {
+        // 7 ranks × 3 fields with irregular sizes; every group size
+        // from 1 (all-singleton groups) to 7 (one group = flat) must
+        // reproduce the flat plan's per-rank view exactly.
+        let preds = preds(&[
+            &[100, 7, 31],
+            &[50, 900, 2],
+            &[0, 13, 13],
+            &[1, 1, 1],
+            &[77, 0, 5],
+            &[12, 64, 800],
+            &[3, 3, 3],
+        ]);
+        let reserved: Vec<Vec<u64>> = preds
+            .iter()
+            .enumerate()
+            .map(|(r, row)| row.iter().map(|p| p.bytes + r as u64 * 3).collect())
+            .collect();
+        let flat = WritePlan::build_reserved(&preds, &reserved, 4096);
+        for gs in 1..=7 {
+            for r in 0..7 {
+                let view = sharded_view_of(&preds, &reserved, gs, r, 4096);
+                assert_eq!(view, flat.rank_view(r), "rank {r} group_size {gs}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_bytes_flat_vs_sharded() {
+        // Flat at 4096 ranks × 4 fields: 4096·4·24 bytes per rank.
+        assert_eq!(reservation_wire_bytes(4096, 4, None), 4096 * 4 * 24);
+        // Sharded at √4096 = 64: 64·4·24 + 64·4·8 — 21× less wire.
+        assert_eq!(
+            reservation_wire_bytes(4096, 4, Some(64)),
+            64 * 4 * 24 + 64 * 4 * 8
+        );
+        // Degenerate sizes clamp instead of dividing by zero.
+        assert_eq!(
+            reservation_wire_bytes(8, 2, Some(0)),
+            reservation_wire_bytes(8, 2, Some(1))
+        );
+        assert_eq!(
+            reservation_wire_bytes(8, 2, Some(99)),
+            reservation_wire_bytes(8, 2, Some(8))
+        );
     }
 }

@@ -15,7 +15,9 @@
 
 use crate::extraspace::ExtraSpacePolicy;
 use crate::metrics::{Breakdown, Method, RunResult};
-use crate::plan::{fit_split, plan_overflow, PartitionPrediction, WritePlan};
+use crate::plan::{
+    build_rank_view, fit_split, plan_overflow, PartitionPrediction, RankPlanView, WritePlan,
+};
 use crate::scheduler::{identity_order, optimize_order};
 use commsim::World;
 use h5lite::{
@@ -38,6 +40,81 @@ pub struct RankFieldData {
     pub data: Vec<f32>,
     /// Partition extents.
     pub dims: Dims,
+}
+
+/// Prediction/headroom policy of a streaming run (one engine step per
+/// timestep). Defined here so both executors share it: the `timeline`
+/// crate's real-I/O stream engine and [`crate::sim::simulate_stream`]'s
+/// discrete-event scale sweeps accept the same mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptMode {
+    /// Offline models + engine-wide extra-space policy every step.
+    Static,
+    /// Online bias correction + adaptive headroom
+    /// ([`ratiomodel::OnlinePredictor`]).
+    Adaptive(ratiomodel::OnlineConfig),
+}
+
+impl AdaptMode {
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdaptMode::Static => "static",
+            AdaptMode::Adaptive(_) => "adaptive",
+        }
+    }
+}
+
+/// Topology of the phase-2 reservation collective.
+///
+/// Both topologies produce **byte-identical layouts** (the sums are
+/// exact `u64` arithmetic either way, pinned by tests); they differ
+/// only in communication shape. The flat all-gather moves
+/// O(ranks · fields) triples to every rank; the sharded topology
+/// splits ranks into contiguous groups that gather locally and
+/// exchange only per-field totals across groups —
+/// O(group + n_groups) per rank, O(√ranks) at the default group size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReservationTopology {
+    /// One world-wide all-gather of per-partition triples (the
+    /// paper's baseline; right answer at tens of ranks).
+    #[default]
+    Flat,
+    /// Two-level collective over contiguous rank groups of
+    /// `group_size` ranks (the last group may be short).
+    /// `group_size = 0` picks `ceil(√ranks)`, which minimizes the
+    /// per-rank wire cost.
+    Sharded {
+        /// Ranks per group; 0 = automatic `ceil(√ranks)`.
+        group_size: usize,
+    },
+}
+
+impl ReservationTopology {
+    /// The group size actually used at `nranks`, or `None` for the
+    /// flat topology. Clamped to `[1, nranks]`; `0` resolves to
+    /// `ceil(√nranks)`.
+    pub fn effective_group_size(&self, nranks: usize) -> Option<usize> {
+        match *self {
+            ReservationTopology::Flat => None,
+            ReservationTopology::Sharded { group_size } => {
+                let gs = if group_size == 0 {
+                    (nranks as f64).sqrt().ceil() as usize
+                } else {
+                    group_size
+                };
+                Some(gs.clamp(1, nranks.max(1)))
+            }
+        }
+    }
+
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReservationTopology::Flat => "flat",
+            ReservationTopology::Sharded { .. } => "sharded",
+        }
+    }
 }
 
 /// Configuration of a real run.
@@ -69,6 +146,9 @@ pub struct RealConfig {
     /// timed separately ([`Breakdown::verify`]) and a violation fails
     /// the run.
     pub verify: bool,
+    /// Shape of the reservation collective (flat all-gather vs
+    /// two-level sharded; identical layouts, different wire cost).
+    pub reservation: ReservationTopology,
     /// Fault-injection harness attached to the output file for the
     /// whole run (crash-recovery tests/benches); `None` in production.
     pub faults: Option<Arc<FaultFs>>,
@@ -400,8 +480,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                     // All-gather the actual sizes.
                     let ta = Instant::now();
                     let my_sizes: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
-                    let all_sizes: Vec<Vec<u64>> =
-                        rk.try_all_gather(my_sizes).map_err(|e| e.to_string())?;
+                    let all_sizes = rk.try_all_gather(my_sizes).map_err(|e| e.to_string())?;
                     out.allgather = ta.elapsed().as_secs_f64();
                     let preds: Vec<Vec<PartitionPrediction>> = all_sizes
                         .iter()
@@ -465,45 +544,69 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                     }
                     out.predict = tp.elapsed().as_secs_f64();
 
-                    // Phase 2: all-gather predicted sizes (plus any
+                    // Phase 2: gather predicted sizes (plus any
                     // per-partition headroom override; ≤ 0 encodes
-                    // "use the engine policy" on the wire).
+                    // "use the engine policy" on the wire) and derive
+                    // this rank's layout. The flat topology
+                    // all-gathers every triple to every rank; the
+                    // sharded topology gathers within a contiguous
+                    // rank group and exchanges only per-field reserved
+                    // totals across groups. Both resolve reservations
+                    // with the same exact u64 arithmetic, so the
+                    // resulting offsets are byte-identical.
                     let ta = Instant::now();
                     let wire: Vec<(u64, f64, f64)> = my_preds
                         .iter()
                         .map(|e| (e.bytes, e.ratio, e.headroom.unwrap_or(-1.0)))
                         .collect();
-                    let gathered: Vec<Vec<(u64, f64, f64)>> =
-                        rk.try_all_gather(wire).map_err(|e| e.to_string())?;
-                    out.allgather = ta.elapsed().as_secs_f64();
-
-                    // Phase 3: identical layout on every rank. Ranks
-                    // see identical gathered triples, so the derived
-                    // reservations (and thus offsets) agree without
-                    // further communication.
-                    let preds: Vec<Vec<PartitionPrediction>> = gathered
-                        .iter()
-                        .map(|row| {
-                            row.iter()
-                                .map(|&(bytes, ratio, _)| PartitionPrediction { bytes, ratio })
-                                .collect()
-                        })
-                        .collect();
-                    let reserves: Vec<Vec<u64>> = gathered
-                        .iter()
-                        .map(|row| {
+                    let resolve =
+                        |row: &[(u64, f64, f64)]| -> (Vec<PartitionPrediction>, Vec<u64>) {
                             row.iter()
                                 .map(|&(bytes, ratio, h)| {
-                                    if h > 0.0 {
+                                    let reserve = if h > 0.0 {
                                         (bytes as f64 * h).ceil() as u64
                                     } else {
                                         cfg.policy.reserve_bytes(bytes, ratio)
-                                    }
+                                    };
+                                    (PartitionPrediction { bytes, ratio }, reserve)
                                 })
-                                .collect()
-                        })
-                        .collect();
-                    let plan = WritePlan::build_reserved(&preds, &reserves, base);
+                                .unzip()
+                        };
+                    let view: RankPlanView = match cfg.reservation.effective_group_size(nranks) {
+                        None => {
+                            let gathered = rk.try_all_gather(wire).map_err(|e| e.to_string())?;
+                            // Phase 3 (flat): identical full layout
+                            // on every rank, then project this
+                            // rank's row.
+                            let (preds, reserves): (Vec<_>, Vec<_>) =
+                                gathered.iter().map(|row| resolve(row)).unzip();
+                            WritePlan::build_reserved(&preds, &reserves, base).rank_view(r)
+                        }
+                        Some(gs) => {
+                            let group = rk.split(r / gs).map_err(|e| e.to_string())?;
+                            let local = group.try_all_gather(wire).map_err(|e| e.to_string())?;
+                            let (member_preds, member_reserves): (Vec<_>, Vec<_>) =
+                                local.iter().map(|row| resolve(row)).unzip();
+                            let totals: Vec<u64> = (0..nfields)
+                                .map(|f| member_reserves.iter().map(|m: &Vec<u64>| m[f]).sum())
+                                .collect();
+                            let group_totals = group
+                                .try_exchange(group.is_leader().then(|| totals.clone()))
+                                .map_err(|e| e.to_string())?;
+                            // Phase 3 (sharded): offsets from
+                            // whole-group totals + the local
+                            // prefix, no full matrix anywhere.
+                            build_rank_view(
+                                &group_totals,
+                                group.group_id(),
+                                &member_preds,
+                                &member_reserves,
+                                group.rank_in_group(),
+                                base,
+                            )
+                        }
+                    };
+                    out.allgather = ta.elapsed().as_secs_f64();
 
                     // Phase 4: compression order.
                     let order = if cfg.method == Method::OverlapReorder {
@@ -548,7 +651,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                             let f = order[pos as usize];
                             comp_total += secs;
                             out.compressed_bytes += stream.len() as u64;
-                            let slot = plan.slots[r][f];
+                            let slot = view.slots[f];
                             out.fields[f].actual = stream.len() as u64;
                             out.fields[f].reserved = slot.reserved;
                             let split = fit_split(stream.len() as u64, slot.reserved);
@@ -601,11 +704,10 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                         my_ovf[*f] = bytes.len() as u64;
                         out.fields[*f].overflow = bytes.len() as u64;
                     }
-                    let all_ovf: Vec<Vec<u64>> =
-                        rk.try_all_gather(my_ovf).map_err(|e| e.to_string())?;
+                    let all_ovf = rk.try_all_gather(my_ovf).map_err(|e| e.to_string())?;
                     let any_overflow = all_ovf.iter().flatten().any(|&b| b > 0);
                     if any_overflow {
-                        let offsets = plan_overflow(&all_ovf, plan.data_end);
+                        let offsets = plan_overflow(&all_ovf, view.data_end);
                         for (f, bytes) in overflow_parts {
                             throttle.acquire(bytes.len() as u64);
                             file.shared_file()
@@ -629,7 +731,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                     out.overflow = to.elapsed().as_secs_f64();
                     if r == 0 {
                         file.shared_file()
-                            .advance_tail_to(plan.data_end)
+                            .advance_tail_to(view.data_end)
                             .map_err(|e| e.to_string())?;
                     }
                 }

@@ -9,7 +9,7 @@
 //! [`RunObservations`] back via [`OnlineSource::observe_run`].
 
 use predwrite::{PredictionSource, RunObservations, SourceEstimate};
-use ratiomodel::{Models, OnlineConfig, OnlinePredictor};
+use ratiomodel::{BandScope, Models, OnlineConfig, OnlinePredictor};
 use szlite::{Config, Dims};
 
 /// Streaming prediction source: one online cell per (rank, field).
@@ -22,11 +22,21 @@ pub struct OnlineSource {
 }
 
 impl OnlineSource {
-    /// Source tracking `nranks × nfields` partitions.
+    /// Source tracking `nranks × nfields` partitions. Under
+    /// [`BandScope::Field`] the error bands are collective — one per
+    /// field, pooled across all its ranks — instead of per-partition
+    /// (bias corrections and reservation floors stay per-partition
+    /// either way).
     pub fn new(nranks: usize, nfields: usize, models: Models, cfg: OnlineConfig) -> Self {
+        let online = match cfg.band_scope {
+            BandScope::Partition => OnlinePredictor::new(nranks * nfields, cfg),
+            // Cells are indexed rank·nfields + field, so grouping by
+            // cell % nfields pools exactly the ranks of one field.
+            BandScope::Field => OnlinePredictor::with_band_groups(nranks * nfields, nfields, cfg),
+        };
         OnlineSource {
             models,
-            online: OnlinePredictor::new(nranks * nfields, cfg),
+            online,
             nranks,
             nfields,
         }
@@ -145,6 +155,19 @@ mod tests {
                 assert_eq!(st.last_observed, 1000 + (r * 3 + f) as u64);
             }
         }
+    }
+
+    #[test]
+    fn field_scope_creates_one_band_group_per_field() {
+        let cfg = OnlineConfig {
+            band_scope: BandScope::Field,
+            ..OnlineConfig::default()
+        };
+        let src = OnlineSource::new(4, 3, Models::with_cthr(40e6), cfg);
+        assert_eq!(src.predictor().band_groups(), 3);
+        assert_eq!(src.predictor().n_cells(), 12);
+        let per_cell = OnlineSource::new(4, 3, Models::with_cthr(40e6), OnlineConfig::default());
+        assert_eq!(per_cell.predictor().band_groups(), 0);
     }
 
     #[test]

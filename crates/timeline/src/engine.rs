@@ -16,8 +16,9 @@ use crate::metrics::{StepMetrics, TimelineReport};
 use pfsim::{BandwidthModel, FaultFs};
 use predwrite::{
     run_real_with, ExtraSpacePolicy, Method, ModelSource, RankFieldData, RealConfig, RealError,
+    ReservationTopology,
 };
-use ratiomodel::{Models, OnlineConfig};
+use ratiomodel::Models;
 use std::path::PathBuf;
 use std::sync::Arc;
 use szlite::Config;
@@ -51,24 +52,10 @@ impl std::fmt::Debug for StepFaults {
     }
 }
 
-/// Prediction/headroom policy of a timeline run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AdaptMode {
-    /// Offline models + engine-wide extra-space policy every step.
-    Static,
-    /// Online bias correction + per-partition adaptive headroom.
-    Adaptive(OnlineConfig),
-}
-
-impl AdaptMode {
-    /// Short label for tables and JSON.
-    pub fn label(&self) -> &'static str {
-        match self {
-            AdaptMode::Static => "static",
-            AdaptMode::Adaptive(_) => "adaptive",
-        }
-    }
-}
+// Historically defined here; now shared with the discrete-event scale
+// simulator (`predwrite::sim::simulate_stream`), which accepts the
+// same mode without this crate's real-I/O machinery.
+pub use predwrite::AdaptMode;
 
 /// Configuration of a timeline run.
 #[derive(Debug, Clone)]
@@ -94,6 +81,9 @@ pub struct TimelineConfig {
     pub sz_threads: usize,
     /// Prediction/headroom mode.
     pub mode: AdaptMode,
+    /// Shape of each step's reservation collective (see
+    /// [`ReservationTopology`]; layouts are identical either way).
+    pub reservation: ReservationTopology,
     /// Read back and bound-check every step's file (the step fails on
     /// a violation).
     pub verify: bool,
@@ -127,6 +117,7 @@ impl TimelineConfig {
             throttle_scale: 1.0,
             sz_threads: 1,
             mode,
+            reservation: ReservationTopology::Flat,
             verify: true,
             dir,
             keep_files: false,
@@ -199,6 +190,7 @@ where
         sz_threads: cfg.sz_threads,
         verify: cfg.verify,
         path: PathBuf::new(),
+        reservation: cfg.reservation,
         faults: None,
     };
     for step in start_step..cfg.steps {

@@ -2,6 +2,7 @@
 //! engine) → h5lite → szlite decode, under all four methods.
 
 use repro_suite::pfsim::BandwidthModel;
+use repro_suite::predwrite;
 use repro_suite::predwrite::{run_real, ExtraSpacePolicy, Method, RankFieldData, RealConfig};
 use repro_suite::ratiomodel::Models;
 use repro_suite::szlite::{Config, Dims};
@@ -44,6 +45,7 @@ fn base_config(method: Method, path: PathBuf) -> RealConfig {
         sz_threads: 1,
         verify: false,
         path,
+        reservation: predwrite::ReservationTopology::Flat,
         faults: None,
     }
 }
