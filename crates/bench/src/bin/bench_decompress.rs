@@ -12,9 +12,20 @@
 //!    workers, each worker reading and de-filtering its own chunks
 //!    with a worker-local scratch, tiles reassembled in chunk order.
 //!
+//! On top of the file-level reads, the binary measures the **serial
+//! entropy-decode floor** per workload: each tile is compressed to a
+//! single szlite stream and the decode stages are timed separately —
+//! LZSS expansion, Huffman decode (table reinit + the LUT-driven
+//! `decode_into`), and the Lorenzo/quantizer reconstruction (total
+//! minus the other two). The Huffman stage is also re-timed through
+//! the retained bit-at-a-time `decode_one_reference` oracle, and the
+//! binary **asserts** the LUT path is at least as fast — a regression
+//! in the table-driven decoder fails the smoke run outright.
+//!
 //! The binary asserts that every pipelined read is value-identical to
-//! the serial result, and writes machine-readable timings to
-//! `BENCH_decompress.json` (override with `BENCH_OUT`).
+//! the serial result, and writes machine-readable timings (including
+//! the per-stage `entropy` breakdown) to `BENCH_decompress.json`
+//! (override with `BENCH_OUT`).
 //!
 //! ```text
 //! cargo run -p bench --release --bin bench_decompress
@@ -65,6 +76,17 @@ struct Tile {
     chunk: Vec<u64>,
 }
 
+/// Per-stage serial decode timings over one whole-tile szlite stream.
+struct EntropyBreakdown {
+    n_points: usize,
+    total_secs: f64,
+    lossless_secs: f64,
+    huffman_secs: f64,
+    lorenzo_secs: f64,
+    /// Huffman stage re-timed through `decode_one_reference`.
+    reference_secs: f64,
+}
+
 /// Per-workload timing record for the JSON report.
 struct Outcome {
     name: &'static str,
@@ -74,6 +96,105 @@ struct Outcome {
     serial_secs: f64,
     pipeline: Vec<(usize, f64)>,
     value_identical: bool,
+    entropy: EntropyBreakdown,
+}
+
+/// Time the decode stages of a single szlite stream covering the whole
+/// tile: LZSS, Huffman (reinit + LUT `decode_into`), and Lorenzo as
+/// the remainder. Small tiles are looped so every timed sample covers
+/// a few million points — the smoke run at side 16 stays noise-proof.
+fn entropy_breakdown(tile: &Tile, reps: usize) -> EntropyBreakdown {
+    use szlite::huffman::HuffmanDecoder;
+    use szlite::stream::{get_varint, BitReader};
+
+    let dims_usize: Vec<usize> = tile.dims.iter().map(|&d| d as usize).collect();
+    let dims = szlite::Dims::from_slice(&dims_usize).unwrap();
+    let cfg = szlite::Config::rel(1e-3);
+    let bytes = szlite::compress_f32(&tile.data, &dims, &cfg).unwrap();
+    let info = szlite::stream_info(&bytes).unwrap();
+    let n_points = tile.data.len();
+    let iters = (4_000_000 / n_points).max(1);
+
+    let mut scratch = szlite::DecompressScratch::new();
+    let mut out: Vec<f32> = Vec::new();
+    let total_secs = best_of(reps, || {
+        for _ in 0..iters {
+            szlite::decompress_into::<f32>(&bytes, &mut scratch, &mut out).unwrap();
+        }
+    }) / iters as f64;
+
+    let body = &bytes[info.payload_offset..info.payload_offset + info.payload_len];
+    let mut payload = Vec::new();
+    let lossless_secs = if info.lossless {
+        best_of(reps, || {
+            for _ in 0..iters {
+                szlite::lossless::decompress_into(body, &mut payload).unwrap();
+            }
+        }) / iters as f64
+    } else {
+        payload.extend_from_slice(body);
+        0.0
+    };
+
+    // Locate the Huffman code bytes inside the payload (table, code
+    // count, code byte length, code bits — the decompressor's layout).
+    let mut dec = HuffmanDecoder::default();
+    let mut codes: Vec<u32> = Vec::new();
+    let mut pos = 0usize;
+    dec.reinit(&payload, &mut pos).unwrap();
+    let n_codes = get_varint(&payload, &mut pos).unwrap() as usize;
+    let code_len = get_varint(&payload, &mut pos).unwrap() as usize;
+    let code_bytes = payload[pos..pos + code_len].to_vec();
+
+    let huffman_secs = best_of(reps, || {
+        for _ in 0..iters {
+            let mut p = 0usize;
+            dec.reinit(&payload, &mut p).unwrap();
+            let mut br = BitReader::new(&code_bytes);
+            dec.decode_into(&mut br, n_codes, &mut codes).unwrap();
+        }
+    }) / iters as f64;
+
+    // Same stage through the retained oracle (reinit included, so the
+    // two timings cover identical work).
+    let reference_secs = best_of(reps, || {
+        for _ in 0..iters {
+            let mut p = 0usize;
+            dec.reinit(&payload, &mut p).unwrap();
+            let mut br = BitReader::new(&code_bytes);
+            codes.clear();
+            for _ in 0..n_codes {
+                codes.push(dec.decode_one_reference(&mut br).unwrap());
+            }
+        }
+    }) / iters as f64;
+
+    let mb = n_points as f64 * 4.0 / 1e6;
+    println!(
+        "{:<6} entropy split         : huffman {:.4} s ({:.1} MB/s lut, {:.1} MB/s ref, {:.2}x) \
+         lossless {:.4} s  lorenzo {:.4} s",
+        tile.name,
+        huffman_secs,
+        mb / huffman_secs,
+        mb / reference_secs,
+        reference_secs / huffman_secs,
+        lossless_secs,
+        (total_secs - lossless_secs - huffman_secs).max(0.0),
+    );
+    assert!(
+        huffman_secs <= reference_secs,
+        "{}: LUT huffman decode slower than the reference walk ({huffman_secs:.6}s vs {reference_secs:.6}s)",
+        tile.name
+    );
+
+    EntropyBreakdown {
+        n_points,
+        total_secs,
+        lossless_secs,
+        huffman_secs,
+        lorenzo_secs: (total_secs - lossless_secs - huffman_secs).max(0.0),
+        reference_secs,
+    }
 }
 
 fn run_tile(tile: &Tile, reps: usize, workers: &[usize]) -> Outcome {
@@ -145,6 +266,7 @@ fn run_tile(tile: &Tile, reps: usize, workers: &[usize]) -> Outcome {
         serial_secs,
         pipeline,
         value_identical,
+        entropy: entropy_breakdown(tile, reps),
     }
 }
 
@@ -210,6 +332,7 @@ fn main() {
     let _ = writeln!(json, "  \"side\": {side},");
     let _ = writeln!(json, "  \"chunk\": {chunk},");
     let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"lut_bits\": {},", szlite::huffman::LUT_BITS);
     let _ = writeln!(
         json,
         "  \"host_parallelism\": {},",
@@ -240,7 +363,31 @@ fn main() {
                 if j + 1 < o.pipeline.len() { "," } else { "" }
             );
         }
-        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "      ],");
+        let e = &o.entropy;
+        let emb = e.n_points as f64 * 4.0 / 1e6;
+        let _ = writeln!(json, "      \"entropy\": {{");
+        let _ = writeln!(json, "        \"n_points\": {},", e.n_points);
+        let _ = writeln!(json, "        \"total_secs\": {:.6},", e.total_secs);
+        let _ = writeln!(json, "        \"lossless_secs\": {:.6},", e.lossless_secs);
+        let _ = writeln!(json, "        \"huffman_secs\": {:.6},", e.huffman_secs);
+        let _ = writeln!(json, "        \"lorenzo_secs\": {:.6},", e.lorenzo_secs);
+        let _ = writeln!(
+            json,
+            "        \"huffman_lut_mb_per_s\": {:.3},",
+            emb / e.huffman_secs
+        );
+        let _ = writeln!(
+            json,
+            "        \"huffman_reference_mb_per_s\": {:.3},",
+            emb / e.reference_secs
+        );
+        let _ = writeln!(
+            json,
+            "        \"lut_speedup\": {:.3}",
+            e.reference_secs / e.huffman_secs
+        );
+        let _ = writeln!(json, "      }}");
         let _ = writeln!(
             json,
             "    }}{}",

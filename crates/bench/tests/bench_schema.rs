@@ -394,6 +394,71 @@ fn workload_artifacts_keep_their_required_keys() {
 }
 
 #[test]
+fn decompress_artifact_has_the_entropy_schema() {
+    let files = bench_files();
+    let (name, json) = files
+        .iter()
+        .find(|(n, _)| n == "BENCH_decompress.json")
+        .expect("BENCH_decompress.json is committed");
+    // Width of the decoder's primary table, recorded so the artifact is
+    // interpretable without the source at that commit.
+    let lut_bits = json
+        .num("lut_bits")
+        .unwrap_or_else(|| panic!("{name}: missing lut_bits"));
+    assert!(
+        (1.0..=24.0).contains(&lut_bits) && lut_bits.fract() == 0.0,
+        "{name}: implausible lut_bits {lut_bits}"
+    );
+    let workloads = json.arr("workloads").expect("decompress workloads");
+    assert!(!workloads.is_empty(), "{name}: empty workloads");
+    for w in workloads {
+        let wname = w.str_of("name").expect("workload name");
+        assert_eq!(
+            w.get("value_identical"),
+            Some(&Json::Bool(true)),
+            "{name}/{wname}: decode paths diverged"
+        );
+        assert!(w.num("serial_mb_per_s").unwrap_or(0.0) > 0.0);
+        let e = w
+            .get("entropy")
+            .unwrap_or_else(|| panic!("{name}/{wname}: missing entropy breakdown"));
+        for key in [
+            "n_points",
+            "total_secs",
+            "lossless_secs",
+            "huffman_secs",
+            "lorenzo_secs",
+            "huffman_lut_mb_per_s",
+            "huffman_reference_mb_per_s",
+            "lut_speedup",
+        ] {
+            let v = e
+                .num(key)
+                .unwrap_or_else(|| panic!("{name}/{wname}: missing entropy key {key}"));
+            assert!(v >= 0.0, "{name}/{wname}: negative {key} = {v}");
+        }
+        // The committed artifact must never record the table-driven
+        // decoder losing to the bit-at-a-time reference walk.
+        let speedup = e.num("lut_speedup").unwrap();
+        assert!(
+            speedup >= 1.0,
+            "{name}/{wname}: LUT slower than reference ({speedup})"
+        );
+        // The stage split must roughly cover the measured total (the
+        // Lorenzo share is derived as the remainder, so the sum can
+        // only undershoot through rounding).
+        let sum = e.num("lossless_secs").unwrap()
+            + e.num("huffman_secs").unwrap()
+            + e.num("lorenzo_secs").unwrap();
+        let total = e.num("total_secs").unwrap();
+        assert!(
+            sum <= total * 1.05 + 1e-6,
+            "{name}/{wname}: stage sum {sum} exceeds total {total}"
+        );
+    }
+}
+
+#[test]
 fn parser_rejects_malformed_json() {
     for bad in [
         "",

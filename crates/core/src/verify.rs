@@ -7,7 +7,11 @@
 //! ([`h5lite::H5Reader::read_full_pipelined`]) and checks each element
 //! against its partition's resolved bound — the same resolution rule
 //! the compressor used (value-range-relative bounds resolve against
-//! each rank's finite min/max).
+//! each rank's finite min/max). Each worker decodes through szlite's
+//! table-driven entropy path (LUT Huffman over the word-buffered bit
+//! reader, via the recycled `DecompressScratch` in its
+//! `FilterScratch`), so the verification phase rides every read-side
+//! speedup automatically.
 //!
 //! It runs standalone (any written file plus the original in-memory
 //! partitions) or as the opt-in `verify` phase of a real run

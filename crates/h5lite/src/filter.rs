@@ -26,10 +26,12 @@ pub const LZSS_FILTER_ID: u32 = 1;
 /// One `FilterScratch` per thread lets every chunk run the whole
 /// filter chain without re-allocating codec state: the szlite
 /// compressor workspace (quantization codes, Huffman frequency tables,
-/// bit buffer), the mirror decompressor workspace (Huffman table,
-/// code/literal staging, reconstruction grid), the byte↔float staging
-/// buffer, and the inter-stage ping-pong buffer all persist across
-/// chunks.
+/// bit buffer), the mirror decompressor workspace (Huffman table with
+/// its primary decode LUT and sparse-rebuild scratch, code/literal
+/// staging, reconstruction grid), the byte↔float staging buffer, and
+/// the inter-stage ping-pong buffer all persist across chunks — so
+/// per-chunk decode pays only for the symbols a chunk actually uses,
+/// never for the full quantizer alphabet.
 #[derive(Debug, Default)]
 pub struct FilterScratch {
     /// szlite compressor workspace.
@@ -179,9 +181,12 @@ impl Filter for SzliteFilter {
         scratch: &mut FilterScratch,
     ) -> Result<()> {
         szlite::decompress_into::<f32>(data, &mut scratch.dsz, &mut scratch.floats)?;
-        out.reserve(scratch.floats.len() * 4);
-        for f in &scratch.floats {
-            out.extend_from_slice(&f.to_le_bytes());
+        // Bulk float→byte conversion: resize-then-fill lets the copy
+        // vectorize instead of growing the vec 4 bytes at a time.
+        let base = out.len();
+        out.resize(base + scratch.floats.len() * 4, 0);
+        for (dst, f) in out[base..].chunks_exact_mut(4).zip(&scratch.floats) {
+            dst.copy_from_slice(&f.to_le_bytes());
         }
         Ok(())
     }

@@ -1,12 +1,18 @@
 //! Decompression: parse header, undo LZSS, Huffman-decode the symbol
 //! stream, and re-run the Lorenzo/quantizer recurrence.
 //!
+//! The entropy stage is table-driven end to end: the symbol stream is
+//! batch-decoded by [`HuffmanDecoder::decode_into`], whose LUT fast
+//! path resolves short codes from a single peek at the word-buffered
+//! [`BitReader`]; the LZSS stage expands through the chunked copy
+//! loops in [`lossless::decompress_into`].
+//!
 //! The decode path mirrors the compressor's scratch discipline: a
-//! [`DecompressScratch`] keeps the Huffman table, the code/literal
-//! staging buffers, and the reconstruction grid alive across calls, so
-//! a per-chunk decode loop ([`decompress_into`]) allocates nothing at
-//! steady state. [`decompress`] and the typed wrappers remain the
-//! allocating convenience entry points.
+//! [`DecompressScratch`] keeps the Huffman table (LUT included), the
+//! code/literal staging buffers, and the reconstruction grid alive
+//! across calls, so a per-chunk decode loop ([`decompress_into`])
+//! allocates nothing at steady state. [`decompress`] and the typed
+//! wrappers remain the allocating convenience entry points.
 
 use crate::compressor::{MAGIC, VERSION};
 use crate::config::Dims;
@@ -108,8 +114,8 @@ pub fn stream_info(bytes: &[u8]) -> Result<StreamInfo> {
 }
 
 /// Reusable decompressor workspace: the LZSS output buffer, the
-/// Huffman table (and its length scratch), decoded quantization codes,
-/// and the reconstruction grid.
+/// Huffman table (with its LUT and sparse rebuild scratch), decoded
+/// quantization codes, and the reconstruction grid.
 ///
 /// Mirrors the compressor's [`Scratch`](crate::Scratch): the per-chunk
 /// hot path allocates all of this afresh when going through
@@ -120,7 +126,6 @@ pub fn stream_info(bytes: &[u8]) -> Result<StreamInfo> {
 #[derive(Debug, Default)]
 pub struct DecompressScratch {
     payload: Vec<u8>,
-    lens: Vec<u8>,
     huffman: HuffmanDecoder,
     codes: Vec<u32>,
     recon: Vec<f64>,
@@ -159,7 +164,6 @@ pub fn decompress_into<T: Element>(
     }
     let DecompressScratch {
         payload,
-        lens,
         huffman,
         codes,
         recon,
@@ -174,7 +178,7 @@ pub fn decompress_into<T: Element>(
     };
 
     let mut pos = 0usize;
-    huffman.reinit(payload_ref, &mut pos, lens)?;
+    huffman.reinit(payload_ref, &mut pos)?;
     let n_codes = get_varint(payload_ref, &mut pos)? as usize;
     if n_codes != info.dims.len() {
         return Err(SzError::Corrupt("code count vs dims"));
@@ -285,6 +289,35 @@ fn decode_row<T: Element>(
     let mut pyx = 0.0f64;
     let mut pzx = 0.0f64;
     let mut pzyx = 0.0f64;
+    // Escape-free rows — the overwhelmingly common case — take a
+    // branch-light kernel: validate the whole row up front, then
+    // reconstruct with no per-point literal or alphabet branches. The
+    // prediction expression is textually identical to the general
+    // loop's, so the replayed values (and thus the output) are
+    // bit-identical; on a validation failure the general loop below
+    // reports the same typed error.
+    if codes
+        .iter()
+        .all(|&c| c != UNPREDICTABLE && (c as usize) < alphabet)
+    {
+        let rows = cur
+            .iter_mut()
+            .zip(codes)
+            .zip(py[..nx].iter().zip(&pz[..nx]).zip(&pzy[..nx]));
+        for ((c, &code), ((&ry, &rz), &rzy)) in rows {
+            let pred = ((((((0.0 + cx) + ry) + rz) - pyx) - pzx) - rzy) + pzyx;
+            let r64 = quant.reconstruct(code, pred);
+            let v = T::from_f64(r64);
+            let rv = v.to_f64();
+            *c = rv;
+            out.push(v);
+            cx = rv;
+            pyx = ry;
+            pzx = rz;
+            pzyx = rzy;
+        }
+        return Ok(());
+    }
     for x in 0..nx {
         let ry = py[x];
         let rz = pz[x];

@@ -16,6 +16,16 @@ use std::collections::BinaryHeap;
 /// if exceeded (rare; needs near-Fibonacci frequency profiles).
 const MAX_CODE_LEN: u8 = 32;
 
+/// Width of the decoder's primary lookup table: an `LUT_BITS`-bit peek
+/// resolves every code of length ≤ `LUT_BITS` in a single table hit
+/// (2^11 × 4 bytes = 8 KiB, resident in L1); longer codes fall back to
+/// the canonical first_code/first_index walk.
+pub const LUT_BITS: u32 = 11;
+const LUT_SIZE: usize = 1 << LUT_BITS;
+/// Primary-table entries pack `(symbol << LUT_LEN_BITS) | code_len`;
+/// a zero entry means "no short code with this prefix" (fall back).
+const LUT_LEN_BITS: u32 = 6;
+
 /// Encoder-side canonical Huffman table.
 #[derive(Debug, Clone, Default)]
 pub struct HuffmanEncoder {
@@ -42,7 +52,14 @@ pub struct EncoderWorkspace {
 ///
 /// A decoder is reusable: [`HuffmanDecoder::reinit`] repopulates the
 /// table from a new serialized stream while recycling the `symbols`
-/// allocation, so a per-chunk decode loop builds no fresh tables.
+/// and primary-LUT allocations, so a per-chunk decode loop builds no
+/// fresh tables.
+///
+/// Decoding is two-level: an [`LUT_BITS`]-bit prefix peeked from the
+/// word-buffered [`BitReader`] indexes the primary table directly to
+/// `(symbol, code_len)` for short codes; longer (or invalid) prefixes
+/// fall back to [`HuffmanDecoder::decode_one_reference`], the retained
+/// bit-at-a-time canonical walk that doubles as the equivalence oracle.
 #[derive(Debug, Clone)]
 pub struct HuffmanDecoder {
     /// Symbols sorted in canonical order.
@@ -52,6 +69,14 @@ pub struct HuffmanDecoder {
     first_code: [u64; MAX_CODE_LEN as usize + 1],
     first_index: [usize; MAX_CODE_LEN as usize + 1],
     count: [usize; MAX_CODE_LEN as usize + 1],
+    /// Primary table: `LUT_BITS`-bit prefix → packed
+    /// `(symbol << LUT_LEN_BITS) | code_len`, zero = fall back.
+    lut: Vec<u32>,
+    /// [`HuffmanDecoder::reinit`] scratch: the parsed `(len, symbol)`
+    /// pairs, kept so per-chunk re-initialization does no
+    /// alphabet-proportional work (the serialized table lists only the
+    /// *present* symbols, and so does this).
+    pairs: Vec<(u8, u32)>,
 }
 
 impl Default for HuffmanDecoder {
@@ -63,6 +88,8 @@ impl Default for HuffmanDecoder {
             first_code: [0; MAX_CODE_LEN as usize + 1],
             first_index: [0; MAX_CODE_LEN as usize + 1],
             count: [0; MAX_CODE_LEN as usize + 1],
+            lut: Vec::new(),
+            pairs: Vec::new(),
         }
     }
 }
@@ -324,23 +351,31 @@ impl HuffmanDecoder {
     /// [`HuffmanEncoder::serialize`].
     pub fn deserialize(buf: &[u8], pos: &mut usize) -> Result<Self> {
         let mut dec = HuffmanDecoder::default();
-        let mut lens = Vec::new();
-        dec.reinit(buf, pos, &mut lens)?;
+        dec.reinit(buf, pos)?;
         Ok(dec)
     }
 
     /// Re-initialize this decoder from a serialized table, recycling
-    /// its allocations and the caller's `lens` scratch buffer. The
-    /// resulting table is identical to [`HuffmanDecoder::deserialize`]
-    /// on the same bytes.
-    pub fn reinit(&mut self, buf: &[u8], pos: &mut usize, lens: &mut Vec<u8>) -> Result<()> {
+    /// its allocations. The resulting table is identical to
+    /// [`HuffmanDecoder::deserialize`] on the same bytes.
+    ///
+    /// All work is proportional to the number of *present* symbols, not
+    /// the alphabet: the serialized table lists `(symbol, len)` pairs
+    /// only, and so does the rebuild — a per-chunk decode loop with a
+    /// wide quantizer alphabet (default 2·32768) pays for the few
+    /// hundred codes a chunk actually uses, never for 64 Ki empty
+    /// slots.
+    pub fn reinit(&mut self, buf: &[u8], pos: &mut usize) -> Result<()> {
         let alphabet = get_varint(buf, pos)? as usize;
         let n_present = get_varint(buf, pos)? as usize;
         if n_present > alphabet || alphabet > (1 << 24) {
             return Err(SzError::Corrupt("huffman table header"));
         }
-        lens.clear();
-        lens.resize(alphabet, 0);
+        // On a parse error the tables are left untouched (stale), same
+        // as the dense-era behavior; callers treat the decoder as
+        // uninitialized after a failed reinit.
+        let mut pairs = std::mem::take(&mut self.pairs);
+        pairs.clear();
         let mut prev = 0u64;
         for i in 0..n_present {
             let delta = get_varint(buf, pos)?;
@@ -348,12 +383,32 @@ impl HuffmanDecoder {
             let len = *buf.get(*pos).ok_or(SzError::Truncated("huffman len"))?;
             *pos += 1;
             if len == 0 || len > MAX_CODE_LEN || sym >= alphabet as u64 {
+                self.pairs = pairs;
                 return Err(SzError::Corrupt("huffman table entry"));
             }
-            lens[sym as usize] = len;
+            // Symbols are delta-coded non-decreasing, so a duplicate is
+            // always adjacent; last-wins mirrors the dense
+            // `lens[sym] = len` overwrite exactly.
+            if i > 0 && sym == prev {
+                *pairs.last_mut().unwrap() = (len, sym as u32);
+            } else {
+                pairs.push((len, sym as u32));
+            }
             prev = sym;
         }
-        self.init_from_lens(lens)
+        // Lexicographic (len, symbol) order — canonical order, and the
+        // same order the dense path's stable by-length sort of an
+        // ascending symbol list produces (symbols are unique here).
+        pairs.sort_unstable();
+        self.count = [0usize; MAX_CODE_LEN as usize + 1];
+        self.symbols.clear();
+        for &(len, sym) in &pairs {
+            self.count[len as usize] += 1;
+            self.symbols.push(sym);
+        }
+        self.pairs = pairs;
+        self.build_tables();
+        Ok(())
     }
 
     /// Build from code lengths.
@@ -385,7 +440,15 @@ impl HuffmanDecoder {
                 .map(|(s, _)| s as u32),
         );
         self.symbols.sort_by_key(|&s| lens[s as usize]);
+        self.build_tables();
+        Ok(())
+    }
 
+    /// Rebuild `first_code`/`first_index` and the primary LUT from
+    /// `count` and canonically ordered `symbols` — the shared tail of
+    /// the dense ([`HuffmanDecoder::from_lens`]) and sparse
+    /// ([`HuffmanDecoder::reinit`]) initialization paths.
+    fn build_tables(&mut self) {
         let mut code = 0u64;
         let mut index = 0usize;
         for len in 1..=MAX_CODE_LEN as usize {
@@ -395,11 +458,74 @@ impl HuffmanDecoder {
             code += self.count[len] as u64;
             index += self.count[len];
         }
-        Ok(())
+
+        // Primary LUT: every LUT_BITS-bit prefix whose leading bits
+        // form a code of length ≤ LUT_BITS maps straight to that
+        // (symbol, len). Lengths are walked longest-first so that with
+        // an over-subscribed (corrupt but accepted) table, overlapping
+        // spans resolve to the *shortest* matching code — exactly what
+        // the reference walk finds first — keeping the two decoders
+        // equivalent on every input.
+        self.lut.clear();
+        self.lut.resize(LUT_SIZE, 0);
+        let short_max = LUT_BITS.min(u32::from(MAX_CODE_LEN)) as usize;
+        for len in (1..=short_max).rev() {
+            let first = self.first_code[len];
+            for i in 0..self.count[len] {
+                let code = first + i as u64;
+                if code >> len != 0 {
+                    // Over-subscribed table: the code does not fit in
+                    // `len` bits; the reference walk can never match
+                    // it, so it gets no LUT span either.
+                    continue;
+                }
+                let sym = self.symbols[self.first_index[len] + i];
+                if sym >= (1 << (32 - LUT_LEN_BITS)) {
+                    // Symbol too wide to pack (only reachable through
+                    // `from_lens` with an absurd alphabet; `reinit`
+                    // caps at 2^24): let the reference walk handle it.
+                    continue;
+                }
+                let shift = LUT_BITS as usize - len;
+                let base = (code as usize) << shift;
+                let entry = (sym << LUT_LEN_BITS) | len as u32;
+                for e in &mut self.lut[base..base + (1 << shift)] {
+                    *e = entry;
+                }
+            }
+        }
     }
 
-    /// Decode one symbol from the reader.
+    /// Decode one symbol from the reader: primary-table hit for codes
+    /// up to [`LUT_BITS`] long, canonical-walk fallback for longer or
+    /// invalid prefixes. Byte- and error-equivalent to
+    /// [`HuffmanDecoder::decode_one_reference`] on every stream.
+    #[inline]
     pub fn decode_one(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        let entry = self.lut[r.peek_bits(LUT_BITS) as usize];
+        if entry != 0 {
+            let len = entry & ((1 << LUT_LEN_BITS) - 1);
+            // Post-peek, `avail < len` only at the stream tail, where
+            // `avail == bits_remaining()` — so this one-register test
+            // is exactly the "enough bits left?" check.
+            if len <= r.avail_bits() {
+                r.consume(len);
+                return Ok(entry >> LUT_LEN_BITS);
+            }
+            // The padded peek matched a code longer than what's left in
+            // the stream — the reference walk would run out of bits.
+            return Err(SzError::Truncated("huffman bits"));
+        }
+        self.decode_one_reference(r)
+    }
+
+    /// Decode one symbol by the bit-at-a-time canonical walk.
+    ///
+    /// This is the original decoder, retained both as the long-code
+    /// fallback of [`HuffmanDecoder::decode_one`] and as the reference
+    /// oracle the LUT path is pinned against (see the adversarial
+    /// equivalence proptest).
+    pub fn decode_one_reference(&self, r: &mut BitReader<'_>) -> Result<u32> {
         // Single-symbol degenerate table: consume one bit.
         let mut code = 0u64;
         for len in 1..=MAX_CODE_LEN as usize {
@@ -417,7 +543,11 @@ impl HuffmanDecoder {
         Err(SzError::Corrupt("invalid huffman code"))
     }
 
-    /// Decode exactly `n` symbols.
+    /// Decode exactly `n` symbols into a fresh vector.
+    ///
+    /// Allocating convenience for tests and one-off callers; hot paths
+    /// go through [`HuffmanDecoder::decode_into`] so the output buffer
+    /// is recycled across chunks.
     pub fn decode(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
         let mut out = Vec::new();
         self.decode_into(r, n, &mut out)?;
@@ -426,6 +556,11 @@ impl HuffmanDecoder {
 
     /// Decode exactly `n` symbols into `out` (cleared first), reusing
     /// its allocation across calls.
+    ///
+    /// The batch loop drives the LUT fast path through the buffered
+    /// reader with peek/consume — no per-symbol `Option` plumbing; the
+    /// canonical walk is entered only for codes longer than
+    /// [`LUT_BITS`] or invalid prefixes.
     pub fn decode_into(&self, r: &mut BitReader<'_>, n: usize, out: &mut Vec<u32>) -> Result<()> {
         out.clear();
         out.reserve(n);
@@ -520,7 +655,6 @@ mod tests {
             (vec![0, 1, 0, 1, 1], 2),
         ];
         let mut reused = HuffmanDecoder::default();
-        let mut lens = Vec::new();
         let mut codes = Vec::new();
         for (syms, alphabet) in &streams {
             let enc = HuffmanEncoder::from_symbols(syms, *alphabet);
@@ -531,7 +665,7 @@ mod tests {
             let bits = w.finish();
 
             let mut pos = 0;
-            reused.reinit(&table, &mut pos, &mut lens).unwrap();
+            reused.reinit(&table, &mut pos).unwrap();
             assert_eq!(pos, table.len());
             let mut r = BitReader::new(&bits);
             reused.decode_into(&mut r, syms.len(), &mut codes).unwrap();
@@ -579,6 +713,117 @@ mod tests {
             fresh.encode(syms, &mut wb);
             assert_eq!(wa.finish(), wb.finish());
             assert_eq!(enc.table_bytes(), fresh.table_bytes());
+        }
+    }
+
+    /// Decode with the LUT path and the reference walk side by side;
+    /// both must agree on every symbol and on the exact terminal error.
+    fn assert_paths_equivalent(dec: &HuffmanDecoder, bits: &[u8], max_symbols: usize) {
+        let mut lut_r = BitReader::new(bits);
+        let mut ref_r = BitReader::new(bits);
+        for i in 0..max_symbols {
+            let a = dec.decode_one(&mut lut_r);
+            let b = dec.decode_one_reference(&mut ref_r);
+            assert_eq!(a, b, "symbol {i} diverged");
+            if a.is_err() {
+                return;
+            }
+            assert_eq!(
+                lut_r.bits_remaining(),
+                ref_r.bits_remaining(),
+                "position diverged after symbol {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_matches_reference_on_valid_streams() {
+        let streams: Vec<(Vec<u32>, usize)> = vec![
+            (vec![1, 2, 3, 1, 1, 1, 2, 0, 0, 3], 4),
+            (vec![5; 100], 8),
+            ((0..5_000u32).map(|i| (i * 7919) % 65536).collect(), 65536),
+            (vec![0, 1, 0, 1, 1], 2),
+        ];
+        for (syms, alphabet) in &streams {
+            let enc = HuffmanEncoder::from_symbols(syms, *alphabet);
+            let mut table = Vec::new();
+            enc.serialize(&mut table);
+            let mut w = BitWriter::new();
+            enc.encode(syms, &mut w);
+            let bits = w.finish();
+            let mut pos = 0;
+            let dec = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
+            assert_paths_equivalent(&dec, &bits, syms.len() + 4);
+        }
+    }
+
+    #[test]
+    fn long_codes_fall_back_to_the_reference_walk() {
+        // A geometric frequency ramp forces code lengths well past
+        // LUT_BITS, so the fallback path carries real traffic; decode
+        // must still roundtrip and match the reference exactly.
+        let mut syms = Vec::new();
+        for s in 0..24u32 {
+            let reps = 1usize << (24 - s).min(16);
+            syms.extend(std::iter::repeat_n(s, reps));
+        }
+        let enc = HuffmanEncoder::from_symbols(&syms, 24);
+        let long_codes = (0..24).filter(|&s| enc.len_of(s) > LUT_BITS as u8).count();
+        assert!(long_codes > 0, "profile failed to produce >LUT_BITS codes");
+        let mut w = BitWriter::new();
+        enc.encode(&syms, &mut w);
+        let bits = w.finish();
+        let mut table = Vec::new();
+        enc.serialize(&mut table);
+        let mut pos = 0;
+        let dec = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(dec.decode(&mut r, syms.len()).unwrap(), syms);
+        assert_paths_equivalent(&dec, &bits, syms.len());
+    }
+
+    #[test]
+    fn lut_matches_reference_on_garbage_bits() {
+        // Corrupt bitstreams must produce identical symbols and the
+        // identical typed error from both paths.
+        let syms: Vec<u32> = (0..500u32).map(|i| (i * 31) % 97).collect();
+        let enc = HuffmanEncoder::from_symbols(&syms, 97);
+        let mut table = Vec::new();
+        enc.serialize(&mut table);
+        let mut pos = 0;
+        let dec = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
+        let mut x = 0x2545F491u64;
+        for len in [0usize, 1, 2, 5, 17, 64, 255] {
+            let garbage: Vec<u8> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x & 0xff) as u8
+                })
+                .collect();
+            assert_paths_equivalent(&dec, &garbage, 200);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_table_decodes_identically_on_both_paths() {
+        // `from_lens` accepts Kraft-oversubscribed length sets (corrupt
+        // tables); the LUT's shortest-match fill order must keep it in
+        // lockstep with the reference walk even there.
+        let lens = [1u8, 1, 1, 2, 2, 3, 12, 12, 13];
+        let dec = HuffmanDecoder::from_lens(&lens).unwrap();
+        let mut x = 0x9E3779B9u64;
+        for len in [1usize, 3, 9, 33, 130] {
+            let garbage: Vec<u8> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x & 0xff) as u8
+                })
+                .collect();
+            assert_paths_equivalent(&dec, &garbage, 300);
         }
     }
 

@@ -139,12 +139,35 @@ impl BitWriter {
     }
 }
 
-/// MSB-first bit reader over a byte slice.
+/// Largest `n` accepted by [`BitReader::peek_bits`]: one refill always
+/// tops the accumulator up to at least this many bits while the stream
+/// has them.
+pub const MAX_PEEK_BITS: u32 = 56;
+
+/// MSB-first bit reader over a byte slice, buffered through a 64-bit
+/// accumulator that refills from whole words.
+///
+/// Two access styles share the same position:
+///
+/// - the byte-exact API ([`BitReader::read_bit`] /
+///   [`BitReader::read_bits`]), which returns `None` once the slice is
+///   exhausted — semantics identical to the historical bit-at-a-time
+///   reader, except that a failing `read_bits` no longer consumes the
+///   bits it managed to read (failure is position-stable);
+/// - the decode-loop API ([`BitReader::peek_bits`] /
+///   [`BitReader::consume`]), which lets a table-driven decoder look at
+///   the next prefix without committing to a length. `peek_bits`
+///   zero-pads past the end of the slice; callers that consume must
+///   first check [`BitReader::bits_remaining`].
 #[derive(Debug)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
+    /// Index of the next byte not yet loaded into `acc`.
     pos: usize,
-    bit: u8,
+    /// MSB-aligned accumulator: the top `avail` bits are the next bits
+    /// of the stream, everything below them is zero.
+    acc: u64,
+    avail: u32,
 }
 
 impl<'a> BitReader<'a> {
@@ -153,30 +176,117 @@ impl<'a> BitReader<'a> {
         BitReader {
             bytes,
             pos: 0,
-            bit: 0,
+            acc: 0,
+            avail: 0,
         }
+    }
+
+    /// Total bits left in the stream (accumulator plus unread bytes).
+    #[inline]
+    pub fn bits_remaining(&self) -> usize {
+        self.avail as usize + (self.bytes.len() - self.pos) * 8
+    }
+
+    /// Bits currently valid in the accumulator. After a refilling call
+    /// (e.g. [`BitReader::peek_bits`]) this is < [`MAX_PEEK_BITS`] only
+    /// when the byte slice is exhausted, in which case it equals
+    /// [`BitReader::bits_remaining`] — which lets a decoder's hot loop
+    /// test "are `len ≤ 56` bits really left?" against this single
+    /// register instead of recomputing the full remaining count.
+    #[inline]
+    pub(crate) fn avail_bits(&self) -> u32 {
+        self.avail
+    }
+
+    /// Top the accumulator up to ≥ 56 valid bits (or to everything the
+    /// stream still has). The fast path grafts whole bytes of a 64-bit
+    /// word in one shot; the tail falls back to byte-at-a-time.
+    #[inline]
+    fn refill(&mut self) {
+        if self.avail >= MAX_PEEK_BITS {
+            return;
+        }
+        if self.pos + 8 <= self.bytes.len() {
+            let w = u64::from_be_bytes(self.bytes[self.pos..self.pos + 8].try_into().unwrap());
+            // Whole bytes that fit above the valid region (avail ≤ 55,
+            // so 1 ≤ take ≤ 7 and the shifts below stay in range).
+            let take = (63 - self.avail) >> 3;
+            self.acc |= (w >> (64 - 8 * take)) << (64 - self.avail - 8 * take);
+            self.pos += take as usize;
+            self.avail += 8 * take;
+        } else {
+            while self.avail <= MAX_PEEK_BITS && self.pos < self.bytes.len() {
+                self.acc |= u64::from(self.bytes[self.pos]) << (56 - self.avail);
+                self.pos += 1;
+                self.avail += 8;
+            }
+        }
+    }
+
+    /// Look at the next `n` bits (MSB-first, `1 ≤ n ≤ 56`) without
+    /// consuming them. Bits past the end of the stream read as zero;
+    /// check [`BitReader::bits_remaining`] before consuming.
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u64 {
+        debug_assert!((1..=MAX_PEEK_BITS).contains(&n));
+        if self.avail < n {
+            self.refill();
+        }
+        self.acc >> (64 - n)
+    }
+
+    /// Advance past `n` bits previously exposed by
+    /// [`BitReader::peek_bits`]. `n` must not exceed the bits the last
+    /// peek actually made available (`bits_remaining` bounds it at the
+    /// stream tail).
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.avail, "consume past refilled bits");
+        self.acc <<= n;
+        self.avail -= n;
     }
 
     /// Read a single bit; `None` at end of stream.
     #[inline]
     pub fn read_bit(&mut self) -> Option<u8> {
-        let byte = *self.bytes.get(self.pos)?;
-        let bit = (byte >> (7 - self.bit)) & 1;
-        self.bit += 1;
-        if self.bit == 8 {
-            self.bit = 0;
-            self.pos += 1;
+        if self.avail == 0 {
+            self.refill();
+            if self.avail == 0 {
+                return None;
+            }
         }
+        let bit = (self.acc >> 63) as u8;
+        self.acc <<= 1;
+        self.avail -= 1;
         Some(bit)
     }
 
-    /// Read `len` bits MSB-first into a `u64`.
+    /// Read `len` bits MSB-first into a `u64` (`len ≤ 64`).
+    ///
+    /// Failure is position-stable: if fewer than `len` bits remain the
+    /// reader returns `None` without consuming anything, so the
+    /// remaining bits can still be read afterwards.
     pub fn read_bits(&mut self, len: u8) -> Option<u64> {
-        let mut v = 0u64;
-        for _ in 0..len {
-            v = (v << 1) | u64::from(self.read_bit()?);
+        debug_assert!(len <= 64);
+        if len == 0 {
+            return Some(0);
         }
-        Some(v)
+        let len = u32::from(len);
+        if self.bits_remaining() < len as usize {
+            return None;
+        }
+        if len <= MAX_PEEK_BITS {
+            let v = self.peek_bits(len);
+            self.consume(len);
+            Some(v)
+        } else {
+            let hi = self.peek_bits(32);
+            self.consume(32);
+            let lo_len = len - 32;
+            let lo = self.peek_bits(lo_len);
+            self.consume(lo_len);
+            Some((hi << lo_len) | lo)
+        }
     }
 }
 
@@ -261,5 +371,72 @@ mod tests {
         let mut r = BitReader::new(&[0xff]);
         assert_eq!(r.read_bits(8).unwrap(), 0xff);
         assert!(r.read_bit().is_none());
+    }
+
+    #[test]
+    fn read_bits_failure_is_position_stable() {
+        // A failing read_bits must not consume the bits it could have
+        // read: after the None, the remaining bits are all still there.
+        let mut r = BitReader::new(&[0b1011_0011, 0b1100_0000]);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        // 12 bits remain; asking for more fails without moving.
+        assert!(r.read_bits(13).is_none());
+        assert!(r.read_bits(64).is_none());
+        assert_eq!(r.bits_remaining(), 12);
+        assert_eq!(r.read_bits(12).unwrap(), 0b0011_1100_0000);
+        assert!(r.read_bits(1).is_none());
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn peek_consume_matches_read_bits() {
+        // Driving the reader through peek/consume yields exactly the
+        // bit sequence the byte-exact API reads, across word-refill
+        // boundaries.
+        let bytes: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+        let widths = [3u32, 11, 1, 56, 7, 24, 13, 2, 31, 11, 11, 11];
+        let mut peeker = BitReader::new(&bytes);
+        let mut reader = BitReader::new(&bytes);
+        for &w in widths.iter().cycle().take(40) {
+            if peeker.bits_remaining() < w as usize {
+                break;
+            }
+            let a = peeker.peek_bits(w);
+            peeker.consume(w);
+            let b = reader.read_bits(w as u8).unwrap();
+            assert_eq!(a, b, "width {w}");
+        }
+        assert_eq!(peeker.bits_remaining(), reader.bits_remaining());
+    }
+
+    #[test]
+    fn peek_zero_pads_past_the_end() {
+        // 6 bits of stream left ("111100"): an 11-bit peek sees them
+        // MSB-aligned with zero padding, and bits_remaining still says
+        // 6 — the caller decides whether a consume is legal.
+        let mut r = BitReader::new(&[0b1011_1100]);
+        r.peek_bits(2);
+        r.consume(2);
+        assert_eq!(r.bits_remaining(), 6);
+        assert_eq!(r.peek_bits(11), 0b111_1000_0000);
+        assert_eq!(r.bits_remaining(), 6);
+        // The real bits are still readable through the byte-exact API.
+        assert_eq!(r.read_bits(6).unwrap(), 0b11_1100);
+    }
+
+    #[test]
+    fn bits_remaining_tracks_all_apis() {
+        let bytes = vec![0xA5u8; 20];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits_remaining(), 160);
+        r.read_bit().unwrap();
+        assert_eq!(r.bits_remaining(), 159);
+        r.read_bits(56).unwrap();
+        assert_eq!(r.bits_remaining(), 103);
+        r.peek_bits(11);
+        r.consume(11);
+        assert_eq!(r.bits_remaining(), 92);
+        r.read_bits(64).unwrap();
+        assert_eq!(r.bits_remaining(), 28);
     }
 }

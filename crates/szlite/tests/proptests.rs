@@ -101,6 +101,59 @@ proptest! {
     }
 
     #[test]
+    fn lut_decoder_equivalent_to_reference(
+        symbols in proptest::collection::vec(0u32..512, 1..800),
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // The table-driven decode path must agree with the retained
+        // canonical-walk oracle on every symbol AND on the exact typed
+        // error, on both well-formed and corrupt bitstreams.
+        let enc = HuffmanEncoder::from_symbols(&symbols, 512);
+        let mut table = Vec::new();
+        enc.serialize(&mut table);
+        let mut w = BitWriter::new();
+        enc.encode(&symbols, &mut w);
+        let bits = w.finish();
+        let mut pos = 0;
+        let dec = HuffmanDecoder::deserialize(&table, &mut pos).unwrap();
+        for stream in [&bits[..], &garbage[..]] {
+            let mut lut_r = BitReader::new(stream);
+            let mut ref_r = BitReader::new(stream);
+            for _ in 0..symbols.len() + 8 {
+                let a = dec.decode_one(&mut lut_r);
+                let b = dec.decode_one_reference(&mut ref_r);
+                prop_assert_eq!(&a, &b, "paths diverged");
+                if a.is_err() {
+                    break;
+                }
+                prop_assert_eq!(lut_r.bits_remaining(), ref_r.bits_remaining());
+            }
+        }
+    }
+
+    #[test]
+    fn lut_decoder_equivalent_on_random_length_tables(
+        lens in proptest::collection::vec(0u8..14, 1..300),
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Arbitrary code-length tables — including Kraft-oversubscribed
+        // ones a corrupt stream could smuggle in — decoded over random
+        // bits: symbol-for-symbol and error-for-error equivalence.
+        let dec = HuffmanDecoder::from_lens(&lens).unwrap();
+        let mut lut_r = BitReader::new(&garbage);
+        let mut ref_r = BitReader::new(&garbage);
+        for _ in 0..400 {
+            let a = dec.decode_one(&mut lut_r);
+            let b = dec.decode_one_reference(&mut ref_r);
+            prop_assert_eq!(&a, &b, "paths diverged");
+            if a.is_err() {
+                break;
+            }
+            prop_assert_eq!(lut_r.bits_remaining(), ref_r.bits_remaining());
+        }
+    }
+
+    #[test]
     fn decompressor_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
         // Must return an error or a valid result, never panic.
         let _ = decompress_f32(&data);
