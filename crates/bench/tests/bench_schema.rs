@@ -3,8 +3,9 @@
 //! The bench binaries hand-write their JSON (no serde in the tree), so
 //! nothing guarantees the committed artifacts stay parseable or keep
 //! the keys the CI jobs and downstream tooling grep for. This test
-//! walks the repository root, parses every `BENCH_*.json` with a small
-//! strict JSON parser, and checks:
+//! walks the repository root, parses every `BENCH_*.json` with the
+//! workspace's strict JSON parser ([`obs::json`], which also backs the
+//! flight recorder and `scrub --json`), and checks:
 //!
 //! - the file is valid JSON and a non-empty object,
 //! - every number is finite (hand-formatted floats can silently turn
@@ -13,233 +14,10 @@
 //!   record of whether the numbers came from a multi-core or a 1-core
 //!   host,
 //! - per-file required keys exist with the right shapes (sweeps,
-//!   workloads, per-config metrics).
+//!   workloads, per-config metrics, observability overheads).
 
-use std::collections::BTreeMap;
+use obs::{json, Json};
 use std::path::{Path, PathBuf};
-
-/// Minimal JSON value — just enough to validate the bench artifacts.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    fn num(&self, key: &str) -> Option<f64> {
-        match self.get(key) {
-            Some(Json::Num(n)) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn arr(&self, key: &str) -> Option<&[Json]> {
-        match self.get(key) {
-            Some(Json::Arr(a)) => Some(a),
-            _ => None,
-        }
-    }
-
-    fn str_of(&self, key: &str) -> Option<&str> {
-        match self.get(key) {
-            Some(Json::Str(s)) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Every number reachable from this value.
-    fn numbers(&self, out: &mut Vec<f64>) {
-        match self {
-            Json::Num(n) => out.push(*n),
-            Json::Arr(a) => a.iter().for_each(|v| v.numbers(out)),
-            Json::Obj(m) => m.values().for_each(|v| v.numbers(out)),
-            _ => {}
-        }
-    }
-}
-
-/// Strict recursive-descent JSON parser: rejects trailing garbage,
-/// trailing commas, unquoted keys, and bare `inf`/`nan` tokens.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at byte {}, found '{}'",
-                b as char, self.pos, self.bytes[self.pos] as char
-            ))
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            b'-' | b'0'..=b'9' => self.number(),
-            c => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            let val = self.value()?;
-            map.insert(key, val);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                c => return Err(format!("expected ',' or '}}' , found '{}'", c as char)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                c => return Err(format!("expected ',' or ']', found '{}'", c as char)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or("unterminated escape")
-                        .copied()?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'n' => s.push('\n'),
-                        b't' => s.push('\t'),
-                        b'r' => s.push('\r'),
-                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
-                    }
-                }
-                Some(&b) => {
-                    s.push(b as char);
-                    self.pos += 1;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number '{text}': {e}"))
-    }
-}
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -256,7 +34,7 @@ fn bench_files() -> Vec<(String, Json)> {
         let name = entry.file_name().to_string_lossy().into_owned();
         if name.starts_with("BENCH_") && name.ends_with(".json") {
             let text = std::fs::read_to_string(entry.path()).expect("read artifact");
-            let json = Parser::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let json = json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
             found.push((name, json));
         }
     }
@@ -458,24 +236,90 @@ fn decompress_artifact_has_the_entropy_schema() {
     }
 }
 
+// (Malformed-JSON rejection is covered by the parser's own unit tests
+// in `obs::json` now that the parser lives there.)
+
 #[test]
-fn parser_rejects_malformed_json() {
-    for bad in [
-        "",
-        "{",
-        "{\"a\": }",
-        "{\"a\": 1,}",
-        "[1 2]",
-        "{\"a\": inf}",
-        "{\"a\": NaN}",
-        "{\"a\": 1} x",
-        "{'a': 1}",
+fn obs_artifact_has_the_overhead_and_trace_schema() {
+    let files = bench_files();
+    let (name, json) = files
+        .iter()
+        .find(|(n, _)| n == "BENCH_obs.json")
+        .expect("BENCH_obs.json is committed");
+    for key in [
+        "steps",
+        "ranks",
+        "disabled_span_ns",
+        "serial_compress_secs",
+        "overhead_fraction",
+        "trace_events",
+        "trace_threads",
+        "trace_max_depth",
+        "flight_records",
+        "total_reserved_bytes",
+        "total_waste_bytes",
+        "total_overflow_bytes",
     ] {
-        assert!(Parser::parse(bad).is_err(), "accepted malformed: {bad:?}");
+        let v = json
+            .num(key)
+            .unwrap_or_else(|| panic!("{name}: missing {key}"));
+        assert!(v >= 0.0 && v.is_finite(), "{name}: bad {key} = {v}");
     }
-    let ok = Parser::parse("{\"a\": [1, 2.5e-3, -4], \"b\": {\"c\": true}}").unwrap();
-    assert_eq!(ok.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
-    let mut nums = Vec::new();
-    ok.numbers(&mut nums);
-    assert_eq!(nums.len(), 3);
+    // The committed artifact must never record the disabled fast path
+    // costing a visible fraction of a serial compress.
+    let ov = json.num("overhead_fraction").unwrap();
+    assert!(ov < 0.02, "{name}: disabled-span overhead {ov} ≥ 2%");
+    // A recorded trace with no nesting means the span plumbing broke.
+    assert!(json.num("trace_events").unwrap() >= 1.0);
+    assert!(json.num("trace_max_depth").unwrap() >= 1.0);
+}
+
+#[test]
+fn generated_flight_records_byte_match_the_timeline_report() {
+    use timeline::{run_timeline, AdaptMode, TimelineConfig};
+
+    let dir = std::env::temp_dir().join(format!("bench-schema-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let stream = workloads::SnapshotStream::nyx(12);
+    let nranks = 2;
+    let data: Vec<_> = (0..3)
+        .map(|s| bench::partition_stream_step(&stream, s, nranks))
+        .collect();
+    let mut cfg = TimelineConfig::quick(3, data[0][0].len(), AdaptMode::Static, dir.clone());
+    cfg.keep_files = true;
+    let report = run_timeline(&cfg, |s| &data[s]).expect("timeline run");
+
+    for m in &report.steps {
+        let fpath = obs::flight_path(&cfg.step_path(m.step));
+        let scan = obs::read_flight(&fpath).unwrap_or_else(|e| panic!("read {fpath:?}: {e}"));
+        assert!(scan.errors.is_empty(), "flight errors: {:?}", scan.errors);
+        let rec = scan.records.last().expect("one record per step");
+        // Byte fields mirror StepMetrics exactly.
+        assert_eq!(rec.step, m.step as u64);
+        assert_eq!(rec.reserved_bytes, m.reserved_bytes);
+        assert_eq!(rec.waste_bytes, m.waste_bytes);
+        assert_eq!(rec.predicted_bytes, m.predicted_bytes);
+        assert_eq!(rec.actual_bytes, m.actual_bytes);
+        assert_eq!(rec.overflow_bytes, m.result.overflow_bytes);
+        assert_eq!(rec.overflow_parts, m.result.n_overflow as u64);
+        assert_eq!(rec.file_bytes, m.result.file_bytes);
+        // Timings and derived figures survive the JSON round trip as
+        // finite numbers, and provenance is recorded.
+        for v in [
+            rec.predict_secs,
+            rec.planner_secs,
+            rec.compress_secs,
+            rec.write_secs,
+            rec.overflow_secs,
+            rec.verify_secs,
+            rec.total_secs,
+            rec.mean_rel_err,
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "bad timing {v}");
+        }
+        assert!(rec.host_parallelism >= 1);
+        // Every step exchanges reservation sizes over the wire.
+        assert!(rec.collective_wire_bytes > 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -176,7 +176,15 @@ impl World {
                         shared: Arc::clone(shared),
                     };
                     let f = &f;
-                    s.spawn(move || f(rank))
+                    s.spawn(move || {
+                        let out = f(rank);
+                        // Retire this rank's span buffer before the
+                        // scope joins: `thread::scope` can observe the
+                        // closure's completion before TLS destructors
+                        // run, which would drop the rank's trace.
+                        obs::trace::flush_thread();
+                        out
+                    })
                 })
                 .collect();
             handles

@@ -16,7 +16,8 @@
 use crate::extraspace::ExtraSpacePolicy;
 use crate::metrics::{Breakdown, Method, RunResult};
 use crate::plan::{
-    build_rank_view, fit_split, plan_overflow, PartitionPrediction, RankPlanView, WritePlan,
+    build_rank_view, fit_split, plan_overflow, reservation_wire_bytes, PartitionPrediction,
+    RankPlanView, WritePlan,
 };
 use crate::scheduler::{identity_order, optimize_order};
 use commsim::World;
@@ -399,6 +400,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
 
     let outcomes: Vec<Result<RankOutcome, String>> = world.run(|rk| {
         let r = rk.rank();
+        let _rank_span = obs::span_arg("real.rank", r as u64);
         let run = || -> Result<RankOutcome, String> {
             let mut out = RankOutcome {
                 fields: vec![FieldObservation::default(); nfields],
@@ -529,6 +531,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                 Method::Overlap | Method::OverlapReorder => {
                     // Phase 1: prediction (pluggable source).
                     let tp = Instant::now();
+                    let predict_span = obs::span("real.predict");
                     let mut my_preds = Vec::with_capacity(nfields);
                     for f in 0..nfields {
                         let est = source.estimate(
@@ -542,6 +545,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                         out.fields[f].predicted = est.bytes;
                         out.fields[f].model_bytes = est.model_bytes;
                     }
+                    drop(predict_span);
                     out.predict = tp.elapsed().as_secs_f64();
 
                     // Phase 2: gather predicted sizes (plus any
@@ -555,6 +559,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                     // with the same exact u64 arithmetic, so the
                     // resulting offsets are byte-identical.
                     let ta = Instant::now();
+                    let allgather_span = obs::span("real.allgather");
                     let wire: Vec<(u64, f64, f64)> = my_preds
                         .iter()
                         .map(|e| (e.bytes, e.ratio, e.headroom.unwrap_or(-1.0)))
@@ -606,6 +611,18 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                             )
                         }
                     };
+                    drop(allgather_span);
+                    if r == 0 {
+                        // Per-rank received bytes × world size = the
+                        // collective's aggregate wire traffic for this
+                        // step's reservation exchange.
+                        let per_rank = reservation_wire_bytes(
+                            nranks,
+                            nfields,
+                            cfg.reservation.effective_group_size(nranks),
+                        );
+                        obs::counter("real.reservation_wire_bytes").add(per_rank * nranks as u64);
+                    }
                     out.allgather = ta.elapsed().as_secs_f64();
 
                     // Phase 4: compression order.
@@ -635,6 +652,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
                         Scratch::new,
                         |scratch, pos| {
                             let f = order[pos as usize];
+                            let _span = obs::span_arg("real.compress_field", f as u64);
                             let t1 = Instant::now();
                             let mut stream = pool.take();
                             compress_into(
@@ -699,6 +717,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
 
                     // Phase 6: overflow redirection.
                     let to = Instant::now();
+                    let _overflow_span = obs::span("real.overflow");
                     let mut my_ovf = vec![0u64; nfields];
                     for (f, bytes) in &overflow_parts {
                         my_ovf[*f] = bytes.len() as u64;
@@ -797,6 +816,7 @@ pub fn run_real_with<S: PredictionSource + ?Sized>(
     let mut verify_secs = 0.0;
     if cfg.verify {
         let tv = Instant::now();
+        let _verify_span = obs::span("real.verify");
         let configs = compressed.then_some(cfg.configs.as_slice());
         let report = crate::verify::verify_file(&cfg.path, data, configs, sz_threads)?;
         verify_secs = tv.elapsed().as_secs_f64();

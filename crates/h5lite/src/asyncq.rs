@@ -12,7 +12,15 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use pfsim::{SharedFile, Throttle};
 use std::sync::Arc;
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
+
+/// Queue-depth gauge shared by every event set in the process; the
+/// per-step high-water mark lands in the flight recorder.
+fn depth_gauge() -> &'static obs::Gauge {
+    static G: OnceLock<&'static obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| obs::gauge("h5.asyncq.depth"))
+}
 
 struct Op {
     file: SharedFile,
@@ -65,6 +73,7 @@ impl EventSet {
                             throttle,
                             recycle,
                         } = op;
+                        let span = obs::span_arg("h5.write", data.len() as u64);
                         if let Some(t) = &throttle {
                             t.acquire(data.len() as u64);
                         }
@@ -75,6 +84,8 @@ impl EventSet {
                                 error: e,
                             });
                         }
+                        drop(span);
+                        depth_gauge().add(-1);
                         if let Some(pool) = recycle {
                             pool.put(data);
                         }
@@ -84,6 +95,7 @@ impl EventSet {
                             pending.cv.notify_all();
                         }
                     }
+                    obs::trace::flush_thread();
                 })
             })
             .collect();
@@ -142,6 +154,7 @@ impl EventSet {
         recycle: Option<Arc<BufferPool>>,
     ) {
         *self.pending.count.lock() += 1;
+        depth_gauge().add(1);
         let send = self.tx.as_ref().expect("event set shut down").send(Op {
             file: file.clone(),
             offset,
@@ -162,6 +175,7 @@ impl EventSet {
             if let Some(pool) = op.recycle {
                 pool.put(op.data);
             }
+            depth_gauge().add(-1);
             let mut c = self.pending.count.lock();
             *c -= 1;
             if *c == 0 {

@@ -111,6 +111,10 @@ where
                         break;
                     }
                 }
+                // Scoped-thread closures complete before TLS teardown:
+                // retire this worker's span buffer explicitly so the
+                // trace drain cannot race thread exit.
+                obs::trace::flush_thread();
             });
         }
         drop(res_tx);
@@ -172,6 +176,7 @@ where
         workers,
         || (FilterScratch::new(), Vec::new()),
         |(scratch, tile): &mut (FilterScratch, Vec<u8>), c| {
+            let _span = obs::span_arg("h5.chunk_compress", c);
             gather_tile_into(data, dims, elem, chunk_dims, c, tile)?;
             let mut stored = pool.take();
             registry.apply_into(filters, tile, scratch, &mut stored)?;

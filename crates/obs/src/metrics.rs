@@ -1,0 +1,387 @@
+//! Process-wide metrics registry: named counters, gauges, and
+//! log-bucketed histograms.
+//!
+//! The record path is allocation-free and lock-free: handles returned
+//! by [`counter`]/[`gauge`]/[`histogram`] are `&'static` references to
+//! leaked atomics, so instrumented code pays one registry lock at
+//! first lookup (cache the handle in a `OnceLock`) and plain relaxed
+//! atomic operations per event afterwards. [`snapshot`] walks the
+//! registry for reporting; per-interval figures come from snapshot
+//! deltas, since the registry lives for the whole process.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    const fn new() -> Self {
+        Counter {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (queue depth, bytes in flight) with a
+/// high-water mark that survives until explicitly reset.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+    hwm: AtomicI64,
+}
+
+impl Gauge {
+    const fn new() -> Self {
+        Gauge {
+            v: AtomicI64::new(0),
+            hwm: AtomicI64::new(0),
+        }
+    }
+
+    /// Adjust the level by `d` (negative to decrease); returns the new
+    /// level and folds it into the high-water mark.
+    #[inline]
+    pub fn add(&self, d: i64) -> i64 {
+        let now = self.v.fetch_add(d, Ordering::Relaxed) + d;
+        self.hwm.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Set the level outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+        self.hwm.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Highest level seen since the last [`Gauge::reset_high_water`].
+    pub fn high_water(&self) -> i64 {
+        self.hwm.load(Ordering::Relaxed)
+    }
+
+    /// Restart high-water tracking from the current level, returning
+    /// the old mark. Used for per-step maxima over a global gauge.
+    pub fn reset_high_water(&self) -> i64 {
+        self.hwm.swap(self.get(), Ordering::Relaxed)
+    }
+}
+
+/// Bucket count: exact buckets for 0..16, then 4 sub-buckets per
+/// octave up to `u64::MAX` (16 + 60·4 = 256).
+pub const N_BUCKETS: usize = 256;
+
+/// Log-bucketed histogram of `u64` samples.
+///
+/// Values below 16 land in exact unit buckets; above that each octave
+/// splits into 4 sub-buckets, so a bucket's width is at most 1/4 of
+/// its lower bound and percentile estimates carry at most ~12.5%
+/// relative error (25% worst case at the bucket edge, which the
+/// property test bounds as `exact/4 + 1`).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (msb - 2)) & 3) as usize;
+        16 + (msb - 4) * 4 + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i < 16 {
+        i as u64
+    } else {
+        let octave = (i - 16) / 4 + 4;
+        let sub = ((i - 16) % 4) as u64;
+        (4 + sub) << (octave - 2)
+    }
+}
+
+/// Representative value reported for bucket `i` (its midpoint).
+fn bucket_mid(i: usize) -> u64 {
+    if i < 16 {
+        return i as u64;
+    }
+    let octave = (i - 16) / 4 + 4;
+    let width = 1u64 << (octave - 2);
+    bucket_lo(i) + (width - 1) / 2
+}
+
+impl Histogram {
+    const fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank percentile estimate for `p` in (0, 1]: the
+    /// midpoint of the bucket holding the `ceil(p·count)`-th smallest
+    /// sample, clamped to the observed maximum. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let k = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= k {
+                return bucket_mid(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge `(level, high_water)` by name.
+    pub gauges: BTreeMap<String, (i64, i64)>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+impl Snapshot {
+    /// Counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter growth since `earlier` (saturating, so a registry
+    /// recreated between snapshots reads as 0, not a panic).
+    pub fn counter_delta(&self, earlier: &Snapshot, name: &str) -> u64 {
+        self.counter(name).saturating_sub(earlier.counter(name))
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    hists: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        hists: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Metric updates are plain atomics; a poisoned registry lock can
+    // only mean a panic mid-insert, where the map is still consistent.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Look up (or register) the counter called `name`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    lock(&registry().counters)
+        .entry(name)
+        .or_insert_with(|| &*Box::leak(Box::new(Counter::new())))
+}
+
+/// Look up (or register) the gauge called `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    lock(&registry().gauges)
+        .entry(name)
+        .or_insert_with(|| &*Box::leak(Box::new(Gauge::new())))
+}
+
+/// Look up (or register) the histogram called `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    lock(&registry().hists)
+        .entry(name)
+        .or_insert_with(|| &*Box::leak(Box::new(Histogram::new())))
+}
+
+/// Copy every registered metric's current state.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let mut snap = Snapshot::default();
+    for (name, c) in lock(&reg.counters).iter() {
+        snap.counters.insert((*name).to_string(), c.get());
+    }
+    for (name, g) in lock(&reg.gauges).iter() {
+        snap.gauges
+            .insert((*name).to_string(), (g.get(), g.high_water()));
+    }
+    for (name, h) in lock(&reg.hists).iter() {
+        snap.hists.insert(
+            (*name).to_string(),
+            HistSummary {
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+                p50: h.percentile(0.50),
+                p90: h.percentile(0.90),
+                p99: h.percentile(0.99),
+            },
+        );
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotonic_and_self_consistent() {
+        // Every bucket's lower bound maps back to that bucket, bounds
+        // strictly ascend, and the midpoint stays inside the bucket.
+        for i in 0..N_BUCKETS {
+            let lo = bucket_lo(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            if i > 0 {
+                assert!(bucket_lo(i) > bucket_lo(i - 1), "bounds ascend at {i}");
+            }
+            let mid = bucket_mid(i);
+            assert_eq!(bucket_index(mid), i, "mid of bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        // Exact region: unit-wide buckets.
+        for v in 0..16u64 {
+            assert_eq!(bucket_mid(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_on_small_exact_sets() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+        assert_eq!(h.max(), 10);
+        // Values < 16 sit in exact buckets: nearest-rank is exact.
+        assert_eq!(h.percentile(0.50), 5);
+        assert_eq!(h.percentile(0.90), 9);
+        assert_eq!(h.percentile(1.0), 10);
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn gauge_high_water_tracks_and_resets() {
+        let g = Gauge::new();
+        assert_eq!(g.add(5), 5);
+        assert_eq!(g.add(-2), 3);
+        assert_eq!(g.high_water(), 5);
+        assert_eq!(g.reset_high_water(), 5);
+        assert_eq!(g.high_water(), 3);
+        g.set(7);
+        assert_eq!(g.high_water(), 7);
+    }
+
+    #[test]
+    fn registry_returns_stable_handles_and_snapshots() {
+        let c = counter("test.metrics.counter");
+        c.add(3);
+        assert!(std::ptr::eq(c, counter("test.metrics.counter")));
+        gauge("test.metrics.gauge").set(-4);
+        histogram("test.metrics.hist").record(100);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.metrics.counter"), 3);
+        assert_eq!(snap.counter("test.metrics.absent"), 0);
+        assert_eq!(snap.gauges["test.metrics.gauge"].0, -4);
+        assert_eq!(snap.hists["test.metrics.hist"].count, 1);
+        let later = snapshot();
+        assert_eq!(later.counter_delta(&snap, "test.metrics.counter"), 0);
+        c.incr();
+        assert_eq!(snapshot().counter_delta(&snap, "test.metrics.counter"), 1);
+    }
+}

@@ -214,6 +214,7 @@ pub fn compress_into<T: Element>(
     scratch: &mut Scratch,
     out: &mut Vec<u8>,
 ) -> Result<CompressStats> {
+    let _span = obs::span_arg("sz.compress", std::mem::size_of_val(data) as u64);
     out.clear();
     if data.is_empty() {
         return Err(SzError::EmptyInput);

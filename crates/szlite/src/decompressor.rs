@@ -157,6 +157,7 @@ pub fn decompress_into<T: Element>(
     scratch: &mut DecompressScratch,
     out: &mut Vec<T>,
 ) -> Result<Dims> {
+    let _span = obs::span_arg("sz.decompress", bytes.len() as u64);
     out.clear();
     let info = stream_info(bytes)?;
     if info.dtype != T::DTYPE {

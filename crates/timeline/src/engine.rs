@@ -200,6 +200,12 @@ where
         let nfields = data.first().map_or(0, Vec::len);
         rc.path = cfg.step_path(step);
         rc.faults = cfg.step_faults.as_ref().and_then(|h| (h.0)(step));
+        // Flight-recorder baseline: per-step figures are deltas of the
+        // process-global obs metrics, and the queue gauge's high-water
+        // mark restarts so it reports this step's maximum only.
+        let metrics_before = obs::snapshot();
+        obs::gauge("h5.asyncq.depth").reset_high_water();
+        let step_span = obs::span_arg("timeline.step", step as u64);
         let (result, obs) = match &cfg.mode {
             AdaptMode::Static => run_real_with(
                 data,
@@ -226,11 +232,12 @@ where
                 out
             }
         };
+        drop(step_span);
         let mean_rel_err = match (&cfg.mode, &online) {
             (AdaptMode::Adaptive(_), Some(src)) => src.predictor().mean_rel_err(),
             _ => step_mean_rel_err(&obs),
         };
-        steps.push(StepMetrics::collect(step, result, &obs, mean_rel_err));
+        let m = StepMetrics::collect(step, result, &obs, mean_rel_err);
         if cfg.keep_files {
             // Persist the post-step adaptation state beside the
             // container: a restart after this step resumes prediction
@@ -244,14 +251,58 @@ where
                 )
                 .map_err(|e| RealError(format!("timeline: step {step} sidecar: {e}")))?;
             }
+            // Flight record beside the sidecar: byte fields mirror
+            // StepMetrics exactly, counters are per-step deltas, so a
+            // post-crash reader sees what this step was doing.
+            let rec = step_flight(&m, &metrics_before);
+            obs::flight::write_step(&obs::flight::flight_path(&rc.path), &rec)
+                .map_err(|e| RealError(format!("timeline: step {step} flight record: {e}")))?;
         } else {
             let _ = std::fs::remove_file(&rc.path);
         }
+        steps.push(m);
     }
+    obs::trace::export_env()
+        .map_err(|e| RealError(format!("timeline: chrome-trace export: {e}")))?;
     Ok(TimelineReport {
         mode: cfg.mode.label().to_string(),
         steps,
     })
+}
+
+/// Assemble one step's flight record from its collected metrics and
+/// the obs-metrics snapshot taken before the step ran.
+fn step_flight(m: &StepMetrics, before: &obs::Snapshot) -> obs::StepFlight {
+    let after = obs::snapshot();
+    let queue_hwm = after
+        .gauges
+        .get("h5.asyncq.depth")
+        .map_or(0, |&(_, hwm)| hwm.max(0)) as u64;
+    obs::StepFlight {
+        step: m.step as u64,
+        reserved_bytes: m.reserved_bytes,
+        waste_bytes: m.waste_bytes,
+        predicted_bytes: m.predicted_bytes,
+        actual_bytes: m.actual_bytes,
+        overflow_bytes: m.result.overflow_bytes,
+        overflow_parts: m.result.n_overflow as u64,
+        raw_bytes: m.result.raw_bytes,
+        file_bytes: m.result.file_bytes,
+        collective_wire_bytes: after.counter_delta(before, "real.reservation_wire_bytes"),
+        predict_secs: m.result.breakdown.predict,
+        planner_secs: m.result.breakdown.allgather,
+        compress_secs: m.result.breakdown.compress,
+        write_secs: m.result.breakdown.write,
+        overflow_secs: m.result.breakdown.overflow,
+        verify_secs: m.result.breakdown.verify,
+        total_secs: m.result.total_time,
+        queue_depth_max: queue_hwm,
+        retries: after.counter_delta(before, "pfsim.faults.retries"),
+        transient_faults: after.counter_delta(before, "pfsim.faults.transient"),
+        escalations: after.counter_delta(before, "pfsim.faults.escalations"),
+        mean_rel_err: m.mean_rel_err,
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+    }
 }
 
 /// Mean relative prediction error of one step's partitions (the

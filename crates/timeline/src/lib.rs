@@ -44,5 +44,5 @@ pub use engine::{
     run_stream, run_timeline, run_timeline_resumed, AdaptMode, StepFaults, TimelineConfig,
 };
 pub use metrics::{StepMetrics, TimelineReport};
-pub use recovery::{resume_timeline, ResumeReport};
+pub use recovery::{newest_flight, resume_timeline, ResumeReport};
 pub use sidecar::{load_sidecar, save_sidecar, sidecar_path};

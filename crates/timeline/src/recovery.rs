@@ -38,8 +38,27 @@ pub struct ResumeReport {
     /// Step whose sidecar seeded the resumed predictor (`None` =
     /// static mode, no usable sidecar, or nothing survived).
     pub sidecar_step: Option<usize>,
+    /// Newest readable flight-recorder record found on disk before the
+    /// resume — what the dying run was doing (`None` when no step left
+    /// a readable `*.obs.jsonl`). Flight records of quarantined steps
+    /// still count: the container may be torn while its recorder line
+    /// is intact, and that is exactly the post-mortem signal.
+    pub last_flight: Option<obs::StepFlight>,
     /// Metrics of the resumed tail (`steps[0]` is `resume_from`).
     pub report: TimelineReport,
+}
+
+/// Newest readable flight record among steps `0..steps` of a run
+/// directory — scanned newest-first so the answer is what the most
+/// recent (possibly dying) step recorded. Unreadable or missing files
+/// are skipped; torn lines inside a file are tolerated by the reader.
+pub fn newest_flight(cfg: &TimelineConfig) -> Option<obs::StepFlight> {
+    (0..cfg.steps).rev().find_map(|step| {
+        let path = obs::flight_path(&cfg.step_path(step));
+        obs::read_flight(&path)
+            .ok()
+            .and_then(|scan| scan.records.into_iter().last())
+    })
 }
 
 /// Scan `cfg.dir`, quarantine damaged step containers, and resume the
@@ -139,12 +158,16 @@ where
         }
     }
 
+    // Capture the black box before the resumed tail overwrites it.
+    let last_flight = newest_flight(cfg);
+
     let report = run_timeline_resumed(cfg, resume_from, online, step_data)?;
     Ok(ResumeReport {
         surviving,
         quarantined,
         resume_from,
         sidecar_step,
+        last_flight,
         report,
     })
 }

@@ -13,9 +13,12 @@
 //! * [`workloads`] — synthetic Nyx / VPIC / RTM dataset generators
 //! * [`timeline`] — timestep-streaming checkpoint engine with online
 //!   ratio-model adaptation
+//! * [`obs`] — flight-recorder observability: span tracing with
+//!   Chrome-trace export, metrics registry, per-step JSONL records
 
 pub use commsim;
 pub use h5lite;
+pub use obs;
 pub use pfsim;
 pub use predwrite;
 pub use ratiomodel;
